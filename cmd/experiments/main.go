@@ -1,0 +1,84 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated substrate and prints each as a terminal report.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-only fig11,fig12]
+//
+// Without -only, every figure is regenerated in order. -quick runs each
+// experiment at reduced scale (seconds instead of minutes per figure);
+// the full scale is what EXPERIMENTS.md records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tmo/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at reduced scale")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	only := flag.String("only", "", "comma-separated subset, e.g. fig11,fig12,table51")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, f := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(f)] = true
+		}
+	}
+	want := func(name string) bool { return len(wanted) == 0 || wanted[name] }
+
+	type entry struct {
+		name string
+		run  func() experiments.Result
+	}
+	all := []entry{
+		{"fig1", func() experiments.Result { return experiments.Figure1() }},
+		{"fig2", func() experiments.Result { return experiments.Figure2(cfg) }},
+		{"fig3", func() experiments.Result { return experiments.Figure3(cfg) }},
+		{"fig4", func() experiments.Result { return experiments.Figure4(cfg) }},
+		{"fig5", func() experiments.Result { return experiments.Figure5(cfg) }},
+		{"fig7", func() experiments.Result { return experiments.Figure7() }},
+		{"fig8", func() experiments.Result { return experiments.Figure8(cfg) }},
+		{"fig9", func() experiments.Result { return experiments.Figure9(cfg) }},
+		{"fig10", func() experiments.Result { return experiments.Figure10(cfg) }},
+		{"fig11", func() experiments.Result { return experiments.Figure11(cfg) }},
+		{"fig12", func() experiments.Result { return experiments.Figure12(cfg) }},
+		{"fig13", func() experiments.Result { return experiments.Figure13(cfg) }},
+		{"fig14", func() experiments.Result { return experiments.Figure14(cfg) }},
+		{"table51", func() experiments.Result { return experiments.TableCompression(cfg) }},
+		{"abl-policy", func() experiments.Result { return experiments.AblationReclaimPolicy(cfg) }},
+		{"abl-limit", func() experiments.Result { return experiments.AblationLimitMode(cfg) }},
+		{"abl-controller", func() experiments.Result { return experiments.AblationController(cfg) }},
+		{"abl-tiered", func() experiments.Result { return experiments.AblationTiered(cfg) }},
+		{"spectrum", func() experiments.Result { return experiments.SweepBackends(cfg) }},
+		{"colocation", func() experiments.Result { return experiments.Colocation(cfg) }},
+		{"adaptation", func() experiments.Result { return experiments.Adaptation(cfg) }},
+		{"abl-readahead", func() experiments.Result { return experiments.AblationReadahead(cfg) }},
+		{"autotune", func() experiments.Result { return experiments.AutoTune(cfg) }},
+		{"abl-lru", func() experiments.Result { return experiments.AblationLRUQuality(cfg) }},
+		{"fleet-het", func() experiments.Result { return experiments.FleetHeterogeneity(cfg) }},
+	}
+
+	ran := 0
+	for _, e := range all {
+		if !want(e.name) {
+			continue
+		}
+		start := time.Now()
+		res := e.run()
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, time.Since(start).Seconds(), res.Render())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched -only=%s\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,102 @@
+// Command fleetsim measures TMO's fleet-wide savings: it runs the default
+// application mix (with tax sidecars) as A/B pairs — offloading off vs on —
+// and reports per-application and weighted-aggregate savings, the numbers
+// behind the paper's Figures 9 and 10.
+//
+// Usage:
+//
+//	fleetsim [-mode zswap] [-warm 40m] [-measure 10m] [-scale 0.5] [-seed 7]
+//	         [-replicas 3] [-ratio-mult 8]
+//
+// -ratio-mult scales Senpai's reclaim ratio so runs converge within the
+// given warm-up (the production ratio of 0.0005 sheds only ~0.5%/min; pass
+// -ratio-mult 1 for the verbatim production configuration and a
+// correspondingly long -warm).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"tmo/internal/core"
+	"tmo/internal/fleet"
+	"tmo/internal/senpai"
+	"tmo/internal/vclock"
+)
+
+func main() {
+	modeStr := flag.String("mode", "zswap", "offload mode: file-only, zswap, ssd")
+	warmStr := flag.String("warm", "40m", "virtual warm-up before measuring")
+	measureStr := flag.String("measure", "10m", "virtual measurement window")
+	scale := flag.Float64("scale", 0.5, "workload footprint scale")
+	seed := flag.Uint64("seed", 7, "fleet seed")
+	replicas := flag.Int("replicas", 1, "independent servers per class (adds P50/P90 columns)")
+	ratioMult := flag.Float64("ratio-mult", 8, "multiplier on Senpai's reclaim ratio (1 = production)")
+	flag.Parse()
+
+	var mode core.Mode
+	switch *modeStr {
+	case "file-only":
+		mode = core.ModeFileOnly
+	case "zswap":
+		mode = core.ModeZswap
+	case "ssd":
+		mode = core.ModeSSDSwap
+	default:
+		fmt.Fprintf(os.Stderr, "fleetsim: unknown mode %q\n", *modeStr)
+		os.Exit(1)
+	}
+	warm, err1 := time.ParseDuration(*warmStr)
+	measure, err2 := time.ParseDuration(*measureStr)
+	if err1 != nil || err2 != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim: bad duration flag")
+		os.Exit(1)
+	}
+
+	mix := fleet.DefaultMix(mode, *seed)
+	fmt.Printf("fleetsim: %d server classes x %d replicas, mode %s, warm %v + measure %v per A/B side\n\n",
+		len(mix), *replicas, mode, warm, measure)
+
+	sc := senpai.ConfigA()
+	sc.ReclaimRatio *= *ratioMult
+
+	var ms []fleet.Measurement
+	for _, spec := range mix {
+		spec.Scale = *scale
+		spec.Senpai = &sc
+		var savings []float64
+		var classMeas []fleet.Measurement
+		for r := 0; r < *replicas; r++ {
+			rs := spec
+			rs.Seed = spec.Seed + uint64(r)*7919
+			m := fleet.Measure(rs, vclock.FromStd(warm), vclock.FromStd(measure))
+			classMeas = append(classMeas, m)
+			savings = append(savings, m.SavingsFrac)
+		}
+		// Weight is per class: spread it across the replicas so the
+		// fleet aggregate stays correct.
+		for i := range classMeas {
+			classMeas[i].Spec.Weight = spec.Weight / float64(*replicas)
+		}
+		ms = append(ms, classMeas...)
+		fmt.Println(classMeas[0])
+		if *replicas > 1 {
+			sort.Float64s(savings)
+			fmt.Printf("  across %d replicas: savings P50 %.1f%%  P90 %.1f%%\n",
+				*replicas, 100*savings[len(savings)/2], 100*savings[(len(savings)*9)/10])
+		}
+	}
+
+	dc, micro := fleet.WeightedTaxSavings(ms)
+	var appSavings, wsum float64
+	for _, m := range ms {
+		appSavings += m.Spec.Weight * m.SavingsFrac
+		wsum += m.Spec.Weight
+	}
+	fmt.Printf("\nweighted application savings: %.1f%% of resident memory\n", 100*appSavings/wsum)
+	fmt.Printf("weighted tax savings: datacenter %.1f%% + microservice %.1f%% = %.1f%% of server memory\n",
+		100*dc, 100*micro, 100*(dc+micro))
+}

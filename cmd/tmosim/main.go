@@ -1,0 +1,164 @@
+// Command tmosim runs a single simulated server under TMO and reports its
+// trajectory: resident memory, swap contents, pressure, throughput, and the
+// Senpai controller's actions.
+//
+// Usage:
+//
+//	tmosim -app web -mode zswap -duration 30m [-capacity 256] [-device C]
+//	       [-report 1m] [-tax] [-seed 1] [-controls]
+//
+// -mode is one of off, file-only, zswap, ssd. -capacity is host DRAM in
+// MiB (default: 2x the app footprint). -controls dumps the workload
+// cgroup's control files at the end, the same surface the production
+// Senpai daemon reads and writes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tmo/internal/cgroup"
+	"tmo/internal/core"
+	"tmo/internal/psi"
+	"tmo/internal/vclock"
+	"tmo/internal/workload"
+)
+
+func main() {
+	appName := flag.String("app", "feed", "workload profile (see -list)")
+	list := flag.Bool("list", false, "list catalog profiles and exit")
+	modeStr := flag.String("mode", "zswap", "offload mode: off, file-only, zswap, ssd, tiered, nvm, cxl")
+	durStr := flag.String("duration", "30m", "virtual time to simulate")
+	capMiB := flag.Int64("capacity", 0, "host DRAM in MiB (0 = 2x app footprint)")
+	device := flag.String("device", "C", "host SSD model (A-G)")
+	reportStr := flag.String("report", "2m", "reporting interval (virtual time)")
+	withTax := flag.Bool("tax", false, "co-schedule tax sidecar containers")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	controls := flag.Bool("controls", false, "dump cgroup control files at the end")
+	traceN := flag.Int("trace", 0, "dump the last N controller trace events at the end")
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.CatalogNames() {
+			p := workload.MustCatalog(n)
+			fmt.Printf("%-18s %4d MiB  anon %.0f%%  compress %.1fx\n",
+				n, p.FootprintBytes/workload.MiB, 100*p.AnonFraction, p.Compressibility)
+		}
+		return
+	}
+
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		fatal(err)
+	}
+	dur, err := time.ParseDuration(*durStr)
+	if err != nil {
+		fatal(fmt.Errorf("bad -duration: %w", err))
+	}
+	report, err := time.ParseDuration(*reportStr)
+	if err != nil {
+		fatal(fmt.Errorf("bad -report: %w", err))
+	}
+	prof, err := workload.Catalog(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	capacity := *capMiB * workload.MiB
+	if capacity == 0 {
+		capacity = 2 * prof.FootprintBytes
+	}
+
+	sys := core.New(core.Options{
+		Mode:          mode,
+		CapacityBytes: capacity,
+		DeviceModel:   *device,
+		Seed:          *seed,
+	})
+	app := sys.AddProfile(prof, cgroup.Workload)
+	if *withTax {
+		sys.AddTax()
+	}
+
+	fmt.Printf("tmosim: %s on %s, %d MiB DRAM, SSD %s, %v\n\n",
+		prof.Name, mode, capacity/workload.MiB, *device, dur)
+	fmt.Printf("%-8s %-10s %-10s %-10s %-9s %-9s %-9s %-8s\n",
+		"time", "resident", "pool", "swapped", "mem-psi", "io-psi", "rps", "swapins/s")
+
+	var lastCompleted, lastSwapIns int64
+	var lastMem, lastIO vclock.Duration
+	step := vclock.FromStd(report)
+	total := vclock.FromStd(dur)
+	for elapsed := vclock.Duration(0); elapsed < total; elapsed += step {
+		sys.Run(step)
+		now := sys.Server.Now()
+		m := sys.Metrics()
+		tr := app.Group.PSI()
+		tr.Sync(now)
+		memTot := tr.Total(psi.Memory, psi.Some)
+		ioTot := tr.Total(psi.IO, psi.Some)
+		st := app.Group.MM().Stat()
+		completed := app.Completed()
+		fmt.Printf("%-8s %7.1fMiB %7.1fMiB %7.1fMiB %8.4f%% %8.4f%% %8.0f %8.1f\n",
+			now.String(),
+			float64(m.ResidentBytes)/workload.MiB,
+			float64(m.PoolBytes)/workload.MiB,
+			float64(m.SwappedBytes)/workload.MiB,
+			100*psi.WindowedPressure(lastMem, memTot, step),
+			100*psi.WindowedPressure(lastIO, ioTot, step),
+			float64(completed-lastCompleted)/step.Seconds(),
+			float64(st.SwapIns-lastSwapIns)/step.Seconds(),
+		)
+		lastCompleted, lastSwapIns = completed, st.SwapIns
+		lastMem, lastIO = memTot, ioTot
+	}
+
+	m := sys.Metrics()
+	fmt.Printf("\nfinal: resident %.1f MiB of %.0f MiB, pool %.1f MiB, swapped %.1f MiB, device writes %.1f MiB, OOM events %d\n",
+		float64(m.ResidentBytes)/workload.MiB, float64(m.CapacityBytes)/workload.MiB,
+		float64(m.PoolBytes)/workload.MiB, float64(m.SwappedBytes)/workload.MiB,
+		float64(m.DeviceWrittenBytes)/workload.MiB, m.OOMEvents)
+	fmt.Printf("request latency: p50 %v, p99 %v\n",
+		app.RequestLatencyQuantile(0.50), app.RequestLatencyQuantile(0.99))
+
+	if *controls {
+		fmt.Println("\ncgroup control files for", app.Group.Path())
+		for _, f := range []string{"memory.current", "memory.max", "memory.low", "memory.events", "memory.stat", "memory.pressure", "io.pressure"} {
+			out, err := app.Group.ReadControl(f)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("--- %s ---\n%s", f, out)
+		}
+	}
+
+	if *traceN > 0 {
+		fmt.Printf("\ncontroller trace (last %d of %d events):\n%s", *traceN, sys.Trace.Total(), sys.Trace.Tail(*traceN))
+	}
+}
+
+func parseMode(s string) (core.Mode, error) {
+	switch s {
+	case "off":
+		return core.ModeOff, nil
+	case "file-only":
+		return core.ModeFileOnly, nil
+	case "zswap":
+		return core.ModeZswap, nil
+	case "ssd":
+		return core.ModeSSDSwap, nil
+	case "tiered":
+		return core.ModeTiered, nil
+	case "nvm":
+		return core.ModeNVM, nil
+	case "cxl":
+		return core.ModeCXL, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (off, file-only, zswap, ssd, tiered, nvm, cxl)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tmosim:", err)
+	os.Exit(1)
+}

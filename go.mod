@@ -1,0 +1,3 @@
+module tmo
+
+go 1.22

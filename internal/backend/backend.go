@@ -1,0 +1,107 @@
+// Package backend implements TMO's offload backends: the slow-memory tiers
+// that hold memory offloaded from DRAM (§2.5, §3.4.1 of the paper).
+//
+// Two swap backends are provided — a zswap-style compressed memory pool and
+// NVMe SSD swap — plus the filesystem path used to reload evicted file
+// cache. SSD devices are modeled after the fleet heterogeneity of Fig. 5:
+// seven device generations (A-G) spanning a 470us-9.3ms p99 read-latency
+// range, with per-device IOPS ceilings and write-endurance budgets.
+//
+// The memory manager stores and loads pages through the SwapBackend
+// interface without knowing which tier it is talking to; the resulting
+// fault latencies feed PSI, which is how Senpai adapts to backend
+// performance without device-specific configuration.
+package backend
+
+import (
+	"errors"
+
+	"tmo/internal/vclock"
+)
+
+// Kind distinguishes the backend tiers, which matters for PSI accounting: a
+// zswap load is pure decompression (memory stall only) while an SSD load is
+// block IO (memory and IO stall).
+type Kind int
+
+// The supported backend kinds.
+const (
+	KindZswap Kind = iota
+	KindSSD
+)
+
+// String names the backend kind.
+func (k Kind) String() string {
+	if k == KindZswap {
+		return "zswap"
+	}
+	return "ssd"
+}
+
+// Handle identifies a stored page within a backend.
+type Handle uint64
+
+// ErrFull is returned by Store when the backend has no room: a zswap pool at
+// its size limit or a swap device out of space. The reclaim path treats it
+// as a failed reclaim of that page.
+var ErrFull = errors.New("backend: no space for offloaded page")
+
+// StoreResult describes a completed page offload.
+type StoreResult struct {
+	Handle Handle
+	// StoredBytes is the physical space consumed in the backend after
+	// compression and allocator overhead; equals the page size for SSD swap.
+	StoredBytes int64
+	// DeviceWrite is the number of bytes written to a wear-limited device;
+	// zero for zswap.
+	DeviceWrite int64
+	// Latency is the synchronous cost paid by the reclaimer (compression
+	// time for zswap; SSD swap-out writes are asynchronous writeback, so
+	// this is zero for SSD).
+	Latency vclock.Duration
+}
+
+// LoadResult describes a completed page load (swap-in).
+type LoadResult struct {
+	// Latency is the synchronous fault cost paid by the faulting task.
+	Latency vclock.Duration
+	// BlockIO reports whether the load performed block IO, in which case
+	// the stall also counts toward IO pressure.
+	BlockIO bool
+}
+
+// Stats is a point-in-time summary of a backend's contents and traffic.
+type Stats struct {
+	StoredPages  int64 // pages currently held
+	LogicalBytes int64 // uncompressed bytes currently held
+	StoredBytes  int64 // physical bytes currently consumed
+	TotalWrites  int64 // cumulative page stores
+	TotalReads   int64 // cumulative page loads
+	WrittenBytes int64 // cumulative bytes written to a wear-limited device
+}
+
+// SwapBackend is a tier that holds offloaded anonymous pages.
+type SwapBackend interface {
+	// Name returns a human-readable backend name for reports.
+	Name() string
+	// Kind reports the tier type.
+	Kind() Kind
+	// Store offloads one page of pageBytes whose content compresses by
+	// compressRatio (uncompressed/compressed, >= 1).
+	Store(now vclock.Time, pageBytes int64, compressRatio float64) (StoreResult, error)
+	// Load brings a stored page back to DRAM and releases its space.
+	Load(now vclock.Time, h Handle) LoadResult
+	// Free releases a stored page without loading it (the owner exited).
+	Free(h Handle)
+	// Stats reports current contents and cumulative traffic.
+	Stats() Stats
+	// WriteRate reports the recent device write rate in bytes/second; zero
+	// for backends without endurance limits. Senpai's write regulation
+	// (Fig. 14) consumes this.
+	WriteRate(now vclock.Time) float64
+	// PoolBytes reports how much host DRAM the backend itself consumes for
+	// stored pages: the compressed-pool footprint for zswap, zero for SSD
+	// swap. The memory manager charges this against host capacity, so the
+	// net saving of a zswap'd page is its size minus its compressed size.
+	PoolBytes() int64
+}

@@ -1,0 +1,45 @@
+package backend
+
+// CostPoint gives, for one server hardware generation, the cost of each
+// memory tier as a percentage of total compute-infrastructure cost. This is
+// the data model behind the paper's Fig. 1, which motivates TMO: DRAM grows
+// toward a third of server cost while iso-capacity SSD stays under 1%.
+type CostPoint struct {
+	Generation string
+	// MemoryPct is DRAM cost as % of infrastructure.
+	MemoryPct float64
+	// CompressedPct is the cost of serving the same capacity from a
+	// compressed-memory pool, assuming the fleet-average 3x compression
+	// ratio the paper uses.
+	CompressedPct float64
+	// SSDPct is the cost of iso-capacity NVMe SSD.
+	SSDPct float64
+}
+
+// compressionRatioFleet is the fleet-average compression ratio the paper
+// uses to estimate compressed-memory cost in Fig. 1.
+const compressionRatioFleet = 3.0
+
+// CostTrend returns the Fig. 1 cost model across hardware generations 1-6.
+// Gen-1 is near end of life; Gen-5/6 were upcoming at publication. DRAM
+// trends to 33% of server cost; compressed memory is DRAM divided by the 3x
+// fleet compression ratio; iso-capacity SSD remains under 1% throughout
+// (roughly 10x cheaper per byte than compressed memory).
+func CostTrend() []CostPoint {
+	memory := []float64{15, 18, 22, 26, 30, 33}
+	ssd := []float64{0.95, 0.90, 0.85, 0.80, 0.72, 0.65}
+	out := make([]CostPoint, len(memory))
+	for i := range memory {
+		out[i] = CostPoint{
+			Generation:    generationName(i + 1),
+			MemoryPct:     memory[i],
+			CompressedPct: memory[i] / compressionRatioFleet,
+			SSDPct:        ssd[i],
+		}
+	}
+	return out
+}
+
+func generationName(n int) string {
+	return "Gen " + string(rune('0'+n))
+}

@@ -1,0 +1,153 @@
+package backend
+
+import (
+	"testing"
+
+	"tmo/internal/vclock"
+)
+
+func newTiered(poolBytes int64) (*Tiered, *Zswap, *SSDSwap) {
+	z := NewZswap(CodecZstd, AllocZsmalloc, poolBytes, 51)
+	dev := NewSSDDevice(DeviceCatalog[2], 52)
+	s := NewSSDSwap(dev, 0)
+	return NewTiered(z, s, 1.5), z, s
+}
+
+func TestTieredRequiresPoolBudget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("unbounded pool accepted")
+		}
+	}()
+	NewTiered(NewZswap(CodecZstd, AllocZsmalloc, 0, 1), NewSSDSwap(NewSSDDevice(DeviceCatalog[0], 2), 0), 1.5)
+}
+
+func TestTieredRoutesByCompressibility(t *testing.T) {
+	tr, z, s := newTiered(1 << 20)
+	// Compressible page -> pool.
+	res, err := tr.Store(0, pageSize, 4.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Stats().StoredPages != 1 || s.Stats().StoredPages != 0 {
+		t.Fatalf("compressible page not in pool")
+	}
+	// Incompressible page -> straight to SSD.
+	res2, err := tr.Store(0, pageSize, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().StoredPages != 1 {
+		t.Fatalf("incompressible page not on SSD")
+	}
+	if tr.DirectSSD() != 1 {
+		t.Fatalf("directSSD = %d", tr.DirectSSD())
+	}
+
+	// Loads dispatch to the right tier: pool loads are not block IO, SSD
+	// loads are.
+	if lr := tr.Load(0, res.Handle); lr.BlockIO {
+		t.Fatalf("pool load reported block IO")
+	}
+	if lr := tr.Load(0, res2.Handle); !lr.BlockIO {
+		t.Fatalf("SSD load not block IO")
+	}
+	if tr.Stats().StoredPages != 0 {
+		t.Fatalf("pages leaked: %+v", tr.Stats())
+	}
+}
+
+func TestTieredWritebackOnPoolPressure(t *testing.T) {
+	// Pool budget of ~4 compressed pages; store many compressible pages.
+	tr, z, s := newTiered(4 * 1100)
+	var handles []Handle
+	for i := 0; i < 20; i++ {
+		res, err := tr.Store(vclock.Time(i)*vclock.Time(vclock.Millisecond), pageSize, 4.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, res.Handle)
+	}
+	if tr.Writebacks() == 0 {
+		t.Fatalf("no writebacks despite pool pressure")
+	}
+	if z.PoolBytes() > 4*1100 {
+		t.Fatalf("pool over budget: %d", z.PoolBytes())
+	}
+	if s.Stats().StoredPages == 0 {
+		t.Fatalf("no pages migrated to SSD")
+	}
+	// The most recently stored pages should still be warm (LRU writeback).
+	warm := 0
+	for _, h := range handles[len(handles)-3:] {
+		if e := tr.entries[h]; e.warm {
+			warm++
+		}
+	}
+	if warm == 0 {
+		t.Fatalf("recent pages not in the warm tier")
+	}
+	// Every handle must still load, regardless of which tier it ended on.
+	for _, h := range handles {
+		tr.Load(vclock.Time(vclock.Second), h)
+	}
+	if got := tr.Stats().StoredPages; got != 0 {
+		t.Fatalf("%d pages leaked after loads", got)
+	}
+}
+
+func TestTieredHandleStableAcrossWriteback(t *testing.T) {
+	tr, _, _ := newTiered(2 * 1100)
+	first, err := tr.Store(0, pageSize, 4.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push enough pages to force the first one to SSD.
+	for i := 0; i < 10; i++ {
+		if _, err := tr.Store(0, pageSize, 4.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e := tr.entries[first.Handle]; e.warm {
+		t.Fatalf("oldest page still warm after pressure")
+	}
+	lr := tr.Load(0, first.Handle)
+	if !lr.BlockIO {
+		t.Fatalf("written-back page should load from SSD")
+	}
+}
+
+func TestTieredFreeBothTiers(t *testing.T) {
+	tr, z, s := newTiered(1 << 20)
+	a, _ := tr.Store(0, pageSize, 4.0)
+	b, _ := tr.Store(0, pageSize, 1.0)
+	tr.Free(a.Handle)
+	tr.Free(b.Handle)
+	tr.Free(b.Handle) // double free is a no-op
+	if z.Stats().StoredPages != 0 || s.Stats().StoredPages != 0 {
+		t.Fatalf("free leaked pages")
+	}
+}
+
+func TestTieredAccounting(t *testing.T) {
+	tr, _, _ := newTiered(1 << 20)
+	tr.Store(0, pageSize, 4.0) // pool
+	tr.Store(0, pageSize, 1.0) // ssd
+	st := tr.Stats()
+	if st.StoredPages != 2 {
+		t.Fatalf("stored pages = %d", st.StoredPages)
+	}
+	if st.LogicalBytes != 2*pageSize {
+		t.Fatalf("logical bytes = %d", st.LogicalBytes)
+	}
+	// Pool bytes only from the warm tier.
+	if tr.PoolBytes() >= pageSize {
+		t.Fatalf("pool bytes = %d, want compressed size only", tr.PoolBytes())
+	}
+	if tr.WarmPages() != 1 || tr.ColdPages() != 1 {
+		t.Fatalf("tier occupancy: warm=%d cold=%d", tr.WarmPages(), tr.ColdPages())
+	}
+	if tr.WriteRate(0) < 0 {
+		t.Fatalf("negative write rate")
+	}
+}

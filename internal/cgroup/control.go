@@ -1,0 +1,91 @@
+package cgroup
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tmo/internal/psi"
+	"tmo/internal/vclock"
+)
+
+// This file provides the string-based control-file interface, mirroring how
+// the production Senpai daemon interacts with cgroup2: reading
+// memory.current and the pressure files, and writing memory.max or
+// memory.reclaim. The typed methods on Group are what the in-process
+// controller uses; the control files exist so that tools (cmd/tmosim's
+// inspect mode) and tests can exercise the same surface the paper describes
+// in Figure 6 ("Senpai drives the offload process by writing to cgroup
+// control files").
+
+// ReadControl reads a control file by name. Supported files:
+// memory.current, memory.max, memory.pressure, io.pressure, cpu.pressure,
+// memory.stat.
+func (g *Group) ReadControl(name string) (string, error) {
+	switch name {
+	case "memory.current":
+		return strconv.FormatInt(g.MemoryCurrent(), 10) + "\n", nil
+	case "memory.max":
+		l := g.mmg.Limit()
+		if l <= 0 {
+			return "max\n", nil
+		}
+		return strconv.FormatInt(l, 10) + "\n", nil
+	case "memory.low":
+		return strconv.FormatInt(g.mmg.Low(), 10) + "\n", nil
+	case "memory.pressure":
+		return g.psi.PressureFile(psi.Memory), nil
+	case "io.pressure":
+		return g.psi.PressureFile(psi.IO), nil
+	case "cpu.pressure":
+		return g.psi.PressureFile(psi.CPU), nil
+	case "memory.events":
+		st := g.mmg.Stat()
+		return fmt.Sprintf("oom %d\ndirect_reclaim %d\n", st.OOMEvents, st.DirectReclaims), nil
+	case "memory.stat":
+		st := g.mmg.Stat()
+		var b strings.Builder
+		fmt.Fprintf(&b, "anon %d\n", g.mmg.ResidentBytesOf(0))
+		fmt.Fprintf(&b, "file %d\n", g.mmg.ResidentBytesOf(1))
+		fmt.Fprintf(&b, "workingset_refault_file %d\n", st.Refaults)
+		fmt.Fprintf(&b, "pswpin %d\n", st.SwapIns)
+		fmt.Fprintf(&b, "pswpout %d\n", st.SwapOuts)
+		fmt.Fprintf(&b, "pgscan %d\n", st.PagesScanned)
+		return b.String(), nil
+	}
+	return "", fmt.Errorf("cgroup: unknown control file %q", name)
+}
+
+// WriteControl writes a control file by name at virtual time now. Supported
+// files: memory.max (bytes or "max") and memory.reclaim (bytes).
+func (g *Group) WriteControl(now vclock.Time, name, value string) error {
+	value = strings.TrimSpace(value)
+	switch name {
+	case "memory.max":
+		if value == "max" {
+			g.SetMemoryMax(now, 0)
+			return nil
+		}
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil || n < 0 {
+			return fmt.Errorf("cgroup: bad memory.max value %q", value)
+		}
+		g.SetMemoryMax(now, n)
+		return nil
+	case "memory.reclaim":
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil || n < 0 {
+			return fmt.Errorf("cgroup: bad memory.reclaim value %q", value)
+		}
+		g.MemoryReclaim(now, n)
+		return nil
+	case "memory.low":
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil || n < 0 {
+			return fmt.Errorf("cgroup: bad memory.low value %q", value)
+		}
+		g.mmg.SetLow(n)
+		return nil
+	}
+	return fmt.Errorf("cgroup: unknown or read-only control file %q", name)
+}

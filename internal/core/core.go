@@ -1,0 +1,314 @@
+// Package core is the top-level TMO assembly: it wires a simulated server
+// (memory manager, cgroup hierarchy, PSI), an offload backend, and the
+// Senpai controller into one system, the way Fig. 6 of the paper draws it.
+//
+// A System is created in one of four modes mirroring the deployment stages
+// of §5.1: offloading disabled, file-only (reclaim without swap), zswap
+// (compressed memory pool), or SSD swap. Workloads are added from the
+// catalog and the system is advanced in virtual time; metrics snapshots
+// expose the quantities the paper's evaluation reports.
+package core
+
+import (
+	"fmt"
+
+	"tmo/internal/backend"
+	"tmo/internal/cgroup"
+	"tmo/internal/mm"
+	"tmo/internal/senpai"
+	"tmo/internal/sim"
+	"tmo/internal/trace"
+	"tmo/internal/vclock"
+	"tmo/internal/workload"
+)
+
+// Mode selects the offload backend configuration.
+type Mode int
+
+// The system modes, in the order the paper deployed them.
+const (
+	// ModeOff disables proactive offloading entirely (the baseline tiers
+	// in Figs. 11-13).
+	ModeOff Mode = iota
+	// ModeFileOnly runs Senpai without swap: only file cache is
+	// reclaimed, the first production deployment stage (§5.1).
+	ModeFileOnly
+	// ModeZswap offloads anonymous memory to a compressed in-DRAM pool.
+	ModeZswap
+	// ModeSSDSwap offloads anonymous memory to a swap partition on the
+	// host SSD.
+	ModeSSDSwap
+	// ModeTiered runs the §5.2 future-work hierarchy: a zswap pool for
+	// warm compressible pages with LRU writeback to SSD swap for cold and
+	// incompressible pages.
+	ModeTiered
+	// ModeNVM offloads to byte-addressable persistent memory (§2.5's
+	// "upcoming NVM devices").
+	ModeNVM
+	// ModeCXL offloads to CXL-attached memory (§2.5's emerging non-DDR
+	// bus technologies).
+	ModeCXL
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeFileOnly:
+		return "file-only"
+	case ModeZswap:
+		return "zswap"
+	case ModeSSDSwap:
+		return "ssd-swap"
+	case ModeTiered:
+		return "tiered"
+	case ModeNVM:
+		return "nvm"
+	case ModeCXL:
+		return "cxl"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Options configures a System. Zero-valued fields get production-like
+// defaults.
+type Options struct {
+	// Mode selects the offload backend; default ModeOff.
+	Mode Mode
+	// CapacityBytes is host DRAM; required.
+	CapacityBytes int64
+	// DeviceModel is the host SSD's catalog letter; default "C".
+	DeviceModel string
+	// TickLen is the simulation tick; default 100ms.
+	TickLen vclock.Duration
+	// Policy is the kernel reclaim algorithm; default PolicyTMO.
+	Policy mm.ReclaimPolicy
+	// Senpai overrides the controller configuration; nil selects the
+	// production ConfigA. Ignored in ModeOff.
+	Senpai *senpai.Config
+	// DisableSenpai builds the offload backend without the controller, for
+	// experiments that attach a different controller (e.g. the g-swap
+	// baseline) to the same plumbing.
+	DisableSenpai bool
+	// ZswapCodec/ZswapAlloc configure the compressed pool; defaults are
+	// the production choices zstd and zsmalloc (§5.1).
+	ZswapCodec *backend.Codec
+	ZswapAlloc *backend.Allocator
+	// ZswapPoolFrac caps the zswap pool at this fraction of DRAM;
+	// default 0.25.
+	ZswapPoolFrac float64
+	// SwapBytes sizes the SSD swap partition; default 4x DRAM.
+	SwapBytes int64
+	// NCPU enables CPU contention when worker demand exceeds it; zero
+	// disables.
+	NCPU int
+	// SwapReadahead is the kernel swap-readahead depth; zero disables.
+	SwapReadahead int
+	// Seed derives all of the system's random streams.
+	Seed uint64
+}
+
+// System is one assembled TMO host.
+type System struct {
+	Opts    Options
+	Server  *sim.Server
+	Senpai  *senpai.Controller
+	Device  *backend.SSDDevice
+	Zswap   *backend.Zswap
+	SSDSwap *backend.SSDSwap
+	Tiered  *backend.Tiered
+	NVM     *backend.NVM
+	// Trace collects controller decisions (the fleet-telemetry stand-in);
+	// tmosim -trace dumps it.
+	Trace *trace.Log
+
+	nextAppSeed uint64
+}
+
+// New assembles a system.
+func New(opts Options) *System {
+	if opts.CapacityBytes <= 0 {
+		panic("core: CapacityBytes required")
+	}
+	if opts.DeviceModel == "" {
+		opts.DeviceModel = "C"
+	}
+	spec, err := backend.DeviceByModel(opts.DeviceModel)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	if opts.ZswapPoolFrac <= 0 {
+		opts.ZswapPoolFrac = 0.25
+	}
+	if opts.SwapBytes <= 0 {
+		opts.SwapBytes = 4 * opts.CapacityBytes
+	}
+
+	sys := &System{Opts: opts, nextAppSeed: opts.Seed*1e6 + 1}
+	sys.Device = backend.NewSSDDevice(spec, opts.Seed^0xdead)
+
+	var swap backend.SwapBackend
+	switch opts.Mode {
+	case ModeZswap:
+		codec := backend.CodecZstd
+		if opts.ZswapCodec != nil {
+			codec = *opts.ZswapCodec
+		}
+		alloc := backend.AllocZsmalloc
+		if opts.ZswapAlloc != nil {
+			alloc = *opts.ZswapAlloc
+		}
+		pool := int64(float64(opts.CapacityBytes) * opts.ZswapPoolFrac)
+		sys.Zswap = backend.NewZswap(codec, alloc, pool, opts.Seed^0xbeef)
+		swap = sys.Zswap
+	case ModeSSDSwap:
+		sys.SSDSwap = backend.NewSSDSwap(sys.Device, opts.SwapBytes)
+		swap = sys.SSDSwap
+	case ModeTiered:
+		codec := backend.CodecZstd
+		if opts.ZswapCodec != nil {
+			codec = *opts.ZswapCodec
+		}
+		alloc := backend.AllocZsmalloc
+		if opts.ZswapAlloc != nil {
+			alloc = *opts.ZswapAlloc
+		}
+		pool := int64(float64(opts.CapacityBytes) * opts.ZswapPoolFrac)
+		sys.Zswap = backend.NewZswap(codec, alloc, pool, opts.Seed^0xbeef)
+		sys.SSDSwap = backend.NewSSDSwap(sys.Device, opts.SwapBytes)
+		sys.Tiered = backend.NewTiered(sys.Zswap, sys.SSDSwap, 1.5)
+		swap = sys.Tiered
+	case ModeNVM:
+		spec := backend.SpecNVMOptane
+		spec.CapacityBytes = opts.SwapBytes
+		sys.NVM = backend.NewNVM(spec, opts.Seed^0xcafe)
+		swap = sys.NVM
+	case ModeCXL:
+		spec := backend.SpecCXLDRAM
+		spec.CapacityBytes = opts.SwapBytes
+		sys.NVM = backend.NewNVM(spec, opts.Seed^0xcafe)
+		swap = sys.NVM
+	}
+
+	sys.Server = sim.NewServer(sim.Config{
+		CapacityBytes: opts.CapacityBytes,
+		TickLen:       opts.TickLen,
+		Device:        sys.Device,
+		Swap:          swap,
+		Policy:        opts.Policy,
+		NCPU:          opts.NCPU,
+		SwapReadahead: opts.SwapReadahead,
+	})
+
+	sys.Trace = trace.NewLog(4096)
+	if opts.Mode != ModeOff && !opts.DisableSenpai {
+		cfg := senpai.ConfigA()
+		if opts.Senpai != nil {
+			cfg = *opts.Senpai
+		}
+		sys.Senpai = senpai.New(cfg, swap)
+		sys.Senpai.SetTrace(sys.Trace)
+		sys.Server.AddController(sys.Senpai)
+	}
+	return sys
+}
+
+// AddWorkload instantiates a catalog profile as a workload container and,
+// when Senpai is enabled, registers it as an offloading target.
+func (s *System) AddWorkload(name string) *workload.App {
+	return s.AddProfile(workload.MustCatalog(name), cgroup.Workload)
+}
+
+// AddTax instantiates the two memory-tax sidecars of §2.3 and registers
+// them with Senpai under the relaxed-SLA tax override (§2.3/§3.3: the taxes
+// tolerate more pressure, which made them the first production target); it
+// returns the datacenter-tax and microservice-tax apps.
+func (s *System) AddTax() (dc, micro *workload.App) {
+	dc = s.addProfileWithConfig(workload.MustCatalog("datacenter-tax"), cgroup.DatacenterTax, senpaiTaxOverride(s))
+	micro = s.addProfileWithConfig(workload.MustCatalog("microservice-tax"), cgroup.MicroserviceTax, senpaiTaxOverride(s))
+	return dc, micro
+}
+
+// AddTaxProfiles is AddTax with caller-supplied (e.g. scaled) profiles.
+func (s *System) AddTaxProfiles(dcProf, microProf workload.Profile) (dc, micro *workload.App) {
+	dc = s.addProfileWithConfig(dcProf, cgroup.DatacenterTax, senpaiTaxOverride(s))
+	micro = s.addProfileWithConfig(microProf, cgroup.MicroserviceTax, senpaiTaxOverride(s))
+	return dc, micro
+}
+
+// senpaiTaxOverride derives the tax override from the system's own Senpai
+// configuration, preserving any experiment-level speedups.
+func senpaiTaxOverride(s *System) *senpai.Config {
+	if s.Senpai == nil {
+		return nil
+	}
+	c := s.Senpai.Config()
+	c.ReclaimRatio *= 4
+	c.MemPressureThreshold *= 5
+	c.IOPressureThreshold *= 2
+	return &c
+}
+
+// addProfileWithConfig is AddProfile with an optional per-target Senpai
+// configuration.
+func (s *System) addProfileWithConfig(p workload.Profile, kind cgroup.Kind, override *senpai.Config) *workload.App {
+	seed := s.nextAppSeed
+	s.nextAppSeed++
+	app := s.Server.AddApp(p, kind, nil, seed)
+	if s.Senpai != nil {
+		if override != nil {
+			s.Senpai.AddTargetWithConfig(app.Group, *override)
+		} else {
+			s.Senpai.AddTarget(app.Group)
+		}
+	}
+	return app
+}
+
+// AddProfile instantiates an arbitrary profile with an explicit container
+// kind.
+func (s *System) AddProfile(p workload.Profile, kind cgroup.Kind) *workload.App {
+	return s.addProfileWithConfig(p, kind, nil)
+}
+
+// Run advances the system by d of virtual time.
+func (s *System) Run(d vclock.Duration) { s.Server.Run(d) }
+
+// Metrics is a point-in-time system snapshot.
+type Metrics struct {
+	// Host occupancy.
+	CapacityBytes, ResidentBytes, PoolBytes, FreeBytes int64
+	// Swap backend contents (zero values in ModeOff/ModeFileOnly).
+	SwappedPages, SwappedBytes int64
+	// Cumulative endurance-relevant writes.
+	DeviceWrittenBytes int64
+	// OOMEvents counts overcommit incidents.
+	OOMEvents int64
+}
+
+// Metrics returns the current snapshot.
+func (s *System) Metrics() Metrics {
+	host := s.Server.Manager().HostStat()
+	m := Metrics{
+		CapacityBytes:      host.CapacityBytes,
+		ResidentBytes:      host.ResidentBytes,
+		PoolBytes:          host.PoolBytes,
+		FreeBytes:          host.FreeBytes,
+		DeviceWrittenBytes: s.Device.WrittenBytes(),
+		OOMEvents:          s.Server.Manager().OOMEvents(),
+	}
+	if sw := s.Server.Swap(); sw != nil {
+		st := sw.Stats()
+		m.SwappedPages = st.StoredPages
+		m.SwappedBytes = st.LogicalBytes
+	}
+	return m
+}
+
+// NetResidentBytes returns application resident memory plus backend pool
+// overhead — the quantity whose reduction constitutes TMO's savings.
+func (s *System) NetResidentBytes() int64 {
+	h := s.Server.Manager().HostStat()
+	return h.ResidentBytes + h.PoolBytes
+}

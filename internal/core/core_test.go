@@ -1,0 +1,283 @@
+package core
+
+import (
+	"testing"
+
+	"tmo/internal/psi"
+	"tmo/internal/senpai"
+	"tmo/internal/vclock"
+	"tmo/internal/workload"
+)
+
+const MiB = workload.MiB
+
+// fastSenpai returns a config that converges quickly enough for tests:
+// same control law, larger ratio.
+func fastSenpai() *senpai.Config {
+	c := senpai.ConfigA()
+	c.ReclaimRatio = 0.005
+	return &c
+}
+
+func TestSystemModes(t *testing.T) {
+	for _, mode := range []Mode{ModeOff, ModeFileOnly, ModeZswap, ModeSSDSwap} {
+		sys := New(Options{Mode: mode, CapacityBytes: 512 * MiB, Seed: 1})
+		if mode == ModeOff && sys.Senpai != nil {
+			t.Fatalf("ModeOff must not run senpai")
+		}
+		if mode != ModeOff && sys.Senpai == nil {
+			t.Fatalf("%v: senpai missing", mode)
+		}
+		if mode == ModeZswap && sys.Zswap == nil {
+			t.Fatalf("zswap backend missing")
+		}
+		if mode == ModeSSDSwap && sys.SSDSwap == nil {
+			t.Fatalf("ssd swap backend missing")
+		}
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	want := map[Mode]string{ModeOff: "off", ModeFileOnly: "file-only", ModeZswap: "zswap", ModeSSDSwap: "ssd-swap"}
+	for m, s := range want {
+		if m.String() != s {
+			t.Fatalf("mode %d = %q", m, m.String())
+		}
+	}
+}
+
+// TestSenpaiOffloadsColdMemory is the core end-to-end behaviour: a workload
+// with substantial cold memory runs under TMO with a zswap backend; Senpai
+// must shrink its resident set appreciably while keeping memory pressure
+// near the configured threshold.
+func TestSenpaiOffloadsColdMemory(t *testing.T) {
+	sys := New(Options{
+		Mode:          ModeZswap,
+		CapacityBytes: 512 * MiB,
+		Senpai:        fastSenpai(),
+		Seed:          2,
+	})
+	app := sys.AddWorkload("feed")
+	sys.Run(2 * vclock.Minute) // warm up
+	before := app.Group.MemoryCurrent()
+	sys.Run(20 * vclock.Minute)
+	after := app.Group.MemoryCurrent()
+
+	savings := 1 - float64(after)/float64(before)
+	if savings < 0.10 {
+		t.Fatalf("senpai saved only %.1f%% of feed's resident memory", 100*savings)
+	}
+	// Feed has ~30% cold memory; savings beyond ~45% would mean senpai is
+	// thrashing the working set.
+	if savings > 0.50 {
+		t.Fatalf("senpai reclaimed implausibly much: %.1f%%", 100*savings)
+	}
+
+	// Pressure must stay in the same order of magnitude as the threshold.
+	act := sys.Senpai.LastAction(app.Group)
+	if act.MemPressure > 10*sys.Senpai.Config().MemPressureThreshold {
+		t.Fatalf("memory pressure %.4f far above threshold", act.MemPressure)
+	}
+	if sys.Metrics().SwappedPages == 0 {
+		t.Fatalf("no pages offloaded to zswap")
+	}
+	if sys.Metrics().OOMEvents != 0 {
+		t.Fatalf("OOM events during proactive offload")
+	}
+}
+
+// TestZswapNetSavingsPositive: the pool cost must not eat the savings for a
+// compressible workload with a stable footprint.
+func TestZswapNetSavingsPositive(t *testing.T) {
+	sys := New(Options{Mode: ModeZswap, CapacityBytes: 512 * MiB, Senpai: fastSenpai(), Seed: 3})
+	app := sys.AddWorkload("feed")
+	_ = app
+	sys.Run(2 * vclock.Minute)
+	before := sys.NetResidentBytes()
+	sys.Run(15 * vclock.Minute)
+	after := sys.NetResidentBytes()
+	if after >= before {
+		t.Fatalf("no net savings: before=%d after=%d", before, after)
+	}
+	m := sys.Metrics()
+	// Feed compresses ~3x: pool bytes must be well under swapped logical
+	// bytes.
+	if m.PoolBytes*2 >= m.SwappedBytes && m.SwappedBytes > 0 {
+		t.Fatalf("pool %d vs swapped %d: compression ineffective", m.PoolBytes, m.SwappedBytes)
+	}
+}
+
+// TestFileOnlyModeNeverSwaps: §5.1's first deployment stage.
+func TestFileOnlyModeNeverSwaps(t *testing.T) {
+	sys := New(Options{Mode: ModeFileOnly, CapacityBytes: 512 * MiB, Senpai: fastSenpai(), Seed: 4})
+	app := sys.AddWorkload("analytics")
+	sys.Run(10 * vclock.Minute)
+	if st := app.Group.MM().Stat(); st.SwapOuts != 0 {
+		t.Fatalf("file-only mode swapped %d pages", st.SwapOuts)
+	}
+	if st := app.Group.MM().Stat(); st.FileEvictions == 0 {
+		t.Fatalf("file-only mode reclaimed nothing")
+	}
+}
+
+// TestOffModeIsInert: without TMO nothing is proactively reclaimed while
+// memory is plentiful.
+func TestOffModeIsInert(t *testing.T) {
+	sys := New(Options{Mode: ModeOff, CapacityBytes: 512 * MiB, Seed: 5})
+	app := sys.AddWorkload("cache-b")
+	sys.Run(30 * vclock.Second)
+	before := app.Group.MemoryCurrent()
+	sys.Run(5 * vclock.Minute)
+	if got := app.Group.MemoryCurrent(); got < before {
+		t.Fatalf("resident shrank with TMO off: %d -> %d", before, got)
+	}
+}
+
+// TestTaxContainers: the tax sidecars register and offload.
+func TestTaxContainers(t *testing.T) {
+	sys := New(Options{Mode: ModeZswap, CapacityBytes: 512 * MiB, Senpai: fastSenpai(), Seed: 6})
+	dc, micro := sys.AddTax()
+	if !dc.Group.Kind().IsTax() || !micro.Group.Kind().IsTax() {
+		t.Fatalf("tax kinds wrong")
+	}
+	sys.Run(2 * vclock.Minute)
+	before := dc.Group.MemoryCurrent() + micro.Group.MemoryCurrent()
+	sys.Run(20 * vclock.Minute)
+	after := dc.Group.MemoryCurrent() + micro.Group.MemoryCurrent()
+	savings := 1 - float64(after)/float64(before)
+	// Tax memory is mostly cold; TMO should recover a large share.
+	if savings < 0.20 {
+		t.Fatalf("tax savings only %.1f%%", 100*savings)
+	}
+}
+
+// TestSenpaiAdaptsToDeviceDegradation: §4.3's point as a failure-injection
+// test — when the offload device's health deteriorates mid-run (firmware
+// pause, thermal throttle), the PSI feedback must automatically back off:
+// fewer swap-ins, more resident memory, pressure re-bounded, no retuning.
+func TestSenpaiAdaptsToDeviceDegradation(t *testing.T) {
+	sys := New(Options{
+		Mode:          ModeSSDSwap,
+		CapacityBytes: 512 * MiB,
+		Senpai:        fastSenpai(),
+		Seed:          20,
+	})
+	app := sys.AddWorkload("feed")
+	sys.Run(12 * vclock.Minute) // converge on the healthy device
+
+	healthyResident := app.Group.MemoryCurrent()
+	healthySwapped := app.Group.MM().SwappedBytes()
+	if healthySwapped == 0 {
+		t.Fatalf("nothing offloaded on the healthy device")
+	}
+
+	// The device degrades 20x.
+	sys.Device.SetDegradation(20)
+	sys.Run(15 * vclock.Minute)
+
+	degradedResident := app.Group.MemoryCurrent()
+	degradedSwapped := app.Group.MM().SwappedBytes()
+	if degradedSwapped >= 7*healthySwapped/10 {
+		t.Fatalf("swap depth did not back off meaningfully: %d -> %d bytes", healthySwapped, degradedSwapped)
+	}
+	if degradedResident <= healthyResident {
+		t.Fatalf("resident did not recover: %d -> %d", healthyResident, degradedResident)
+	}
+	// Pressure must stay the same order of magnitude as the target at the
+	// new equilibrium — bounded, not runaway. (The boosted test ratio
+	// makes each probe spike larger than production's, so the duty-cycled
+	// mean sits a few multiples above the threshold.)
+	act := sys.Senpai.LastAction(app.Group)
+	if act.MemPressure > 10*sys.Senpai.Config().MemPressureThreshold {
+		t.Fatalf("pressure runaway after adaptation: %v", act.MemPressure)
+	}
+}
+
+// TestNVMAndCXLModes: the future tiers assemble and offload with a pure
+// memory-stall signature.
+func TestNVMAndCXLModes(t *testing.T) {
+	for _, mode := range []Mode{ModeNVM, ModeCXL} {
+		sys := New(Options{Mode: mode, CapacityBytes: 512 * MiB, Senpai: fastSenpai(), Seed: 21})
+		app := sys.AddWorkload("feed")
+		sys.Run(10 * vclock.Minute)
+		if sys.NVM == nil {
+			t.Fatalf("%v: NVM backend missing", mode)
+		}
+		if sys.NVM.Stats().StoredPages == 0 {
+			t.Fatalf("%v: nothing offloaded", mode)
+		}
+		if sys.Metrics().PoolBytes != 0 {
+			t.Fatalf("%v: NVM tier consumed host DRAM", mode)
+		}
+		st := app.Group.MM().Stat()
+		if st.SwapIns == 0 {
+			t.Fatalf("%v: no swap-ins", mode)
+		}
+	}
+}
+
+// TestTieredMode: the §5.2 hierarchy assembles through core.
+func TestTieredMode(t *testing.T) {
+	sys := New(Options{
+		Mode:          ModeTiered,
+		CapacityBytes: 512 * MiB,
+		ZswapPoolFrac: 0.002,
+		Senpai:        fastSenpai(),
+		Seed:          22,
+	})
+	sys.AddWorkload("feed")
+	sys.AddWorkload("ml")
+	sys.Run(12 * vclock.Minute)
+	if sys.Tiered == nil {
+		t.Fatalf("tiered backend missing")
+	}
+	if sys.Tiered.DirectSSD() == 0 {
+		t.Fatalf("incompressible pages not routed to SSD")
+	}
+	if sys.Tiered.WarmPages()+sys.Tiered.ColdPages() == 0 {
+		t.Fatalf("nothing offloaded")
+	}
+}
+
+// TestWorkingSetProfileEndToEnd: the §3.3 provisioning insight — after
+// Senpai converges, the profile exposes how much the workload was
+// overprovisioned.
+func TestWorkingSetProfileEndToEnd(t *testing.T) {
+	sys := New(Options{Mode: ModeZswap, CapacityBytes: 512 * MiB, Senpai: fastSenpai(), Seed: 23})
+	app := sys.AddWorkload("analytics")
+	sys.Run(20 * vclock.Minute)
+	w := sys.Senpai.WorkingSet(app.Group)
+	if w.Samples < 100 {
+		t.Fatalf("profile samples = %d", w.Samples)
+	}
+	// Analytics has ~45% cold memory; the profile must report substantial
+	// overprovisioning.
+	if w.OverprovisionFrac() < 0.10 {
+		t.Fatalf("overprovision = %.2f, want >= 0.10", w.OverprovisionFrac())
+	}
+	if w.MinBytes >= w.MaxBytes {
+		t.Fatalf("profile bounds: %+v", w)
+	}
+}
+
+// TestPSIStaysConsistent: after a long mixed run, machine-wide PSI is a
+// valid aggregate (some >= full, totals within elapsed time).
+func TestPSIStaysConsistent(t *testing.T) {
+	sys := New(Options{Mode: ModeSSDSwap, CapacityBytes: 512 * MiB, Senpai: fastSenpai(), Seed: 7})
+	sys.AddWorkload("feed")
+	sys.AddWorkload("cache-a")
+	sys.AddTax()
+	d := 10 * vclock.Minute
+	sys.Run(d)
+	root := sys.Server.Hierarchy().Root().PSI()
+	root.Sync(sys.Server.Now())
+	for _, r := range []psi.Resource{psi.CPU, psi.Memory, psi.IO} {
+		some, full := root.Total(r, psi.Some), root.Total(r, psi.Full)
+		if full > some {
+			t.Fatalf("%v: full %v > some %v", r, full, some)
+		}
+		if some > d {
+			t.Fatalf("%v: some %v exceeds elapsed %v", r, some, d)
+		}
+	}
+}

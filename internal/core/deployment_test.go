@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"tmo/internal/cgroup"
+	"tmo/internal/vclock"
+	"tmo/internal/workload"
+)
+
+// The tests in this file replay the production deployment narrative of
+// §5.1: tax-first, then file-only for all applications, then swap for the
+// largest ones — plus the observability anecdote that paid for the effort
+// before any swapping happened.
+
+// TestStagedDeployment: each rollout stage recovers strictly more memory
+// than the previous, with throughput intact throughout.
+func TestStagedDeployment(t *testing.T) {
+	run := func(stage int) (netResident int64, completed int64) {
+		mode := ModeFileOnly
+		if stage == 3 {
+			mode = ModeZswap
+		}
+		sys := New(Options{
+			Mode:          mode,
+			CapacityBytes: 512 * MiB,
+			Senpai:        fastSenpai(),
+			Seed:          30,
+		})
+		app := sys.AddWorkload("feed")
+		dc, micro := sys.AddTax()
+		if stage == 1 {
+			// Stage 1: offloading for the taxes only — pull the
+			// workload back out of Senpai's target list by rebuilding
+			// without it registered.
+			sys = New(Options{
+				Mode:          ModeFileOnly,
+				CapacityBytes: 512 * MiB,
+				Senpai:        fastSenpai(),
+				DisableSenpai: false,
+				Seed:          30,
+			})
+			// Workload present but untargeted.
+			app = sys.Server.AddApp(workload.MustCatalog("feed"), cgroup.Workload, nil, 1)
+			dc, micro = sys.AddTax()
+		}
+		_ = dc
+		_ = micro
+		sys.Run(20 * vclock.Minute)
+		return sys.NetResidentBytes(), app.Completed()
+	}
+
+	r1, c1 := run(1) // taxes only, file-only
+	r2, c2 := run(2) // everything, file-only
+	r3, c3 := run(3) // everything, zswap
+
+	if !(r2 < r1) {
+		t.Errorf("stage 2 (file-only all) did not beat stage 1 (tax only): %d vs %d", r2, r1)
+	}
+	if !(r3 < r2) {
+		t.Errorf("stage 3 (swap) did not beat stage 2 (file-only): %d vs %d", r3, r2)
+	}
+	// Throughput survives every stage (within noise).
+	for i, c := range []int64{c1, c2, c3} {
+		if float64(c) < 0.97*float64(c1) {
+			t.Errorf("stage %d throughput regressed: %d vs %d", i+1, c, c1)
+		}
+	}
+}
+
+// TestSelfExtractingBinaryAnecdote reproduces §5.1's observability story:
+// "an application unexpectedly consumed a large amount of file cache due to
+// its repeated execution of a self-extracting binary... extracting ahead of
+// time resulted in 70% memory savings." The pathological app's footprint is
+// dominated by once-read file cache; file-only TMO identifies and reclaims
+// it, and the working-set profile quantifies the overprovisioning.
+func TestSelfExtractingBinaryAnecdote(t *testing.T) {
+	pathological := workload.Profile{
+		Name:            "self-extractor",
+		FootprintBytes:  96 * MiB,
+		AnonFraction:    0.15, // a small real working set...
+		Compressibility: 2,
+		Workers:         2,
+		ServiceCPU:      2 * vclock.Millisecond,
+		Classes: []workload.AccessClass{
+			{Frac: 0.15, Period: 30 * vclock.Second}, // the actual app
+			{Frac: 0.85, Period: 0},                  // extracted-once, never reused
+		},
+	}
+	sys := New(Options{
+		Mode:          ModeFileOnly,
+		CapacityBytes: 256 * MiB,
+		Senpai:        fastSenpai(),
+		Seed:          31,
+	})
+	app := sys.AddProfile(pathological, cgroup.Workload)
+	initial := app.Group.MemoryCurrent()
+	sys.Run(45 * vclock.Minute)
+	final := app.Group.MemoryCurrent()
+
+	savings := 1 - float64(final)/float64(initial)
+	if savings < 0.55 {
+		t.Fatalf("recovered only %.0f%% of the self-extractor's memory, want the anecdote's ~70%%", 100*savings)
+	}
+	// No swap was needed or used: this was all file cache (§5.1 ran this
+	// stage in file-only mode).
+	if st := app.Group.MM().Stat(); st.SwapOuts != 0 {
+		t.Fatalf("file-only stage swapped")
+	}
+	// The working-set profile makes the overprovisioning visible to the
+	// application team, which is how the anecdote was actually found.
+	w := sys.Senpai.WorkingSet(app.Group)
+	if w.OverprovisionFrac() < 0.5 {
+		t.Fatalf("profile reports %.0f%% overprovisioning, want > 50%%", 100*w.OverprovisionFrac())
+	}
+}

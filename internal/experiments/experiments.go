@@ -1,0 +1,131 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the simulated substrate. Each FigureN function runs the
+// corresponding experiment and returns a typed result carrying both the
+// figure's data series and a Render method producing a terminal-friendly
+// report; cmd/experiments prints them all, and the root-level benchmarks
+// time each one.
+//
+// Absolute numbers differ from the paper — the substrate is a scaled
+// simulator, not Meta's fleet — so each result also exposes the *shape*
+// checks the reproduction is judged on (who wins, directionality,
+// crossovers). The package tests assert those shapes.
+package experiments
+
+import (
+	"tmo/internal/metrics"
+	"tmo/internal/vclock"
+	"tmo/internal/workload"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick shrinks durations and footprints so a figure regenerates in
+	// seconds (used by tests and benchmarks). Full scale is the default
+	// for cmd/experiments.
+	Quick bool
+	// Seed makes the whole experiment deterministic.
+	Seed uint64
+}
+
+// dur picks between full and quick durations.
+func (c Config) dur(full, quick vclock.Duration) vclock.Duration {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// scale picks the workload footprint scale.
+func (c Config) scale() float64 {
+	if c.Quick {
+		return 0.5
+	}
+	return 1.0
+}
+
+// profile loads a catalog profile at the configured scale.
+func (c Config) profile(name string) workload.Profile {
+	return workload.MustCatalog(name).Scale(c.scale())
+}
+
+// Result is implemented by every figure's output.
+type Result interface {
+	// Render returns a human-readable report of the regenerated figure.
+	Render() string
+}
+
+// sampler records time series from a running system at a fixed cadence.
+type sampler struct {
+	every vclock.Duration
+	last  vclock.Time
+	fns   []func(now vclock.Time)
+}
+
+func newSampler(every vclock.Duration) *sampler { return &sampler{every: every} }
+
+func (s *sampler) add(fn func(now vclock.Time)) { s.fns = append(s.fns, fn) }
+
+// onTick is registered as a sim observer.
+func (s *sampler) onTick(now vclock.Time) {
+	if s.last != 0 && now.Sub(s.last) < s.every {
+		return
+	}
+	s.last = now
+	for _, fn := range s.fns {
+		fn(now)
+	}
+}
+
+// counterRate converts successive readings of a cumulative counter into a
+// per-second rate series.
+type counterRate struct {
+	read   func() int64
+	last   int64
+	lastT  vclock.Time
+	primed bool
+	series *metrics.Series
+}
+
+func newCounterRate(name string, read func() int64) *counterRate {
+	return &counterRate{read: read, series: &metrics.Series{Name: name}}
+}
+
+func (c *counterRate) sample(now vclock.Time) {
+	v := c.read()
+	if c.primed {
+		dt := now.Sub(c.lastT).Seconds()
+		if dt > 0 {
+			c.series.Record(now, float64(v-c.last)/dt)
+		}
+	}
+	c.primed = true
+	c.last = v
+	c.lastT = now
+}
+
+// pressureRate converts successive PSI total readings into a windowed
+// pressure-fraction series.
+type pressureRate struct {
+	read   func() vclock.Duration
+	last   vclock.Duration
+	lastT  vclock.Time
+	primed bool
+	series *metrics.Series
+}
+
+func newPressureRate(name string, read func() vclock.Duration) *pressureRate {
+	return &pressureRate{read: read, series: &metrics.Series{Name: name}}
+}
+
+func (p *pressureRate) sample(now vclock.Time) {
+	v := p.read()
+	if p.primed {
+		dt := now.Sub(p.lastT)
+		if dt > 0 {
+			p.series.Record(now, float64(v-p.last)/float64(dt))
+		}
+	}
+	p.primed = true
+	p.last = v
+	p.lastT = now
+}

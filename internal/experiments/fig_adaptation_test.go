@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+func TestAdaptationShape(t *testing.T) {
+	r := Adaptation(cfg)
+	// §3.3: contraction is paced by the reclaim ratio (minutes);
+	// expansion happens at demand-fault speed.
+	if r.ContractionTime <= 0 || r.ExpansionTime <= 0 {
+		t.Fatalf("half-lives not measured: %+v", r)
+	}
+	if r.ExpansionFasterBy() < 2 {
+		t.Errorf("expansion only %.1fx faster than contraction (contraction=%v expansion=%v)",
+			r.ExpansionFasterBy(), r.ContractionTime, r.ExpansionTime)
+	}
+	if len(r.Resident.Points) < 30 {
+		t.Errorf("resident series too sparse: %d points", len(r.Resident.Points))
+	}
+}
+
+func TestAblationReadaheadShape(t *testing.T) {
+	r := AblationReadahead(cfg)
+	if r.Off.ReadaheadPerSec != 0 {
+		t.Errorf("readahead ran while disabled")
+	}
+	if r.On.ReadaheadPerSec <= 0 {
+		t.Errorf("readahead never engaged")
+	}
+	// Readahead absorbs part of the fault stream: the workload serves
+	// meaningfully fewer major faults.
+	if r.On.MajorFaultsPerSec >= 0.8*r.Off.MajorFaultsPerSec {
+		t.Errorf("major faults not reduced: %.1f/s -> %.1f/s",
+			r.Off.MajorFaultsPerSec, r.On.MajorFaultsPerSec)
+	}
+	// The cost: a somewhat larger resident set (speculative pages).
+	if r.On.ResidentMiB < r.Off.ResidentMiB {
+		t.Errorf("readahead shrank resident memory?")
+	}
+}

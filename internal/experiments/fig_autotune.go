@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tmo/internal/cgroup"
+	"tmo/internal/core"
+	"tmo/internal/metrics"
+	"tmo/internal/mm"
+	"tmo/internal/psi"
+	"tmo/internal/senpai"
+	"tmo/internal/textplot"
+	"tmo/internal/vclock"
+)
+
+// AutoTuneResult compares the fixed production reclaim ratio against the
+// §3.3-future-work online tuner, both starting from the same conservative
+// configuration.
+type AutoTuneResult struct {
+	// Static/Tuned resident trajectories (bytes).
+	Static, Tuned *metrics.Series
+	// Savings fractions at the end of the run, vs the initial resident.
+	StaticSavings, TunedSavings float64
+	// TunedPressure is the tuned run's mean pressure over the final third
+	// — the tuner must buy speed without losing safety.
+	TunedPressure float64
+	// FinalMultiplier is where the tuner's ratio multiplier settled.
+	FinalMultiplier float64
+}
+
+// AutoTune runs the comparison. Both runs use the production ratio verbatim
+// (the quick-mode boost would mask exactly the slowness the tuner fixes).
+func AutoTune(cfg Config) AutoTuneResult {
+	dur := cfg.dur(90*vclock.Minute, 25*vclock.Minute)
+	p := cfg.profile("analytics") // plenty of cold memory to find
+
+	run := func(tune bool) (*metrics.Series, float64, float64, float64) {
+		sc := senpai.ConfigA()
+		sys := core.New(core.Options{
+			Mode:          core.ModeZswap,
+			CapacityBytes: 2 * p.FootprintBytes,
+			Senpai:        &sc,
+			Seed:          cfg.Seed + 2100,
+		})
+		app := sys.AddProfile(p, cgroup.Workload)
+		if tune {
+			sys.Senpai.EnableAutoTune(senpai.DefaultAutoTune())
+		}
+		series := &metrics.Series{Name: map[bool]string{false: "static", true: "auto-tuned"}[tune]}
+		s := newSampler(20 * vclock.Second)
+		s.add(func(now vclock.Time) {
+			series.Record(now, float64(app.Group.MemoryCurrent()))
+		})
+		sys.Server.OnTick(s.onTick)
+
+		initial := float64(app.Group.MemoryCurrent())
+		tr := app.Group.PSI()
+		sys.Run(vclock.Duration(float64(dur) * 2 / 3))
+		tr.Sync(sys.Server.Now())
+		m0 := tr.Total(psi.Memory, psi.Some)
+		sys.Run(dur / 3)
+		tr.Sync(sys.Server.Now())
+		m1 := tr.Total(psi.Memory, psi.Some)
+
+		savings := 1 - float64(app.Group.MemoryCurrent())/initial
+		pressure := psi.WindowedPressure(m0, m1, dur/3)
+		return series, savings, pressure, sys.Senpai.TuneMultiplier(app.Group)
+	}
+
+	var res AutoTuneResult
+	res.Static, res.StaticSavings, _, _ = run(false)
+	res.Tuned, res.TunedSavings, res.TunedPressure, res.FinalMultiplier = run(true)
+	return res
+}
+
+// Render implements Result.
+func (r AutoTuneResult) Render() string {
+	out := "Online parameter tuning (§3.3 future work): fixed ratio vs AIMD tuner\n"
+	out += textplot.Chart("resident memory (bytes)",
+		[]*metrics.Series{r.Static.Downsample(72), r.Tuned.Downsample(72)}, 72, 10)
+	out += textplot.Table([][]string{
+		{"Controller", "savings at end", "final multiplier"},
+		{"static ConfigA", fmt.Sprintf("%.1f%%", 100*r.StaticSavings), "1.0"},
+		{"auto-tuned", fmt.Sprintf("%.1f%%", 100*r.TunedSavings), fmt.Sprintf("%.1f", r.FinalMultiplier)},
+	})
+	out += fmt.Sprintf("tuned run's final-third pressure: %.4f (threshold %.4f)\n",
+		r.TunedPressure, senpai.ConfigA().MemPressureThreshold)
+	return out
+}
+
+var (
+	_ Result = AutoTuneResult{}
+	_        = mm.PolicyOracle // cross-reference: see AblationLRUQuality
+)
+
+// ---------------------------------------------------------------------------
+// Ablation: LRU quality vs the exact-coldness oracle.
+
+// LRUQualityOutcome is one policy's equilibrium.
+type LRUQualityOutcome struct {
+	Policy      mm.ReclaimPolicy
+	SavingsFrac float64
+	FaultsPerS  float64
+	MemPressure float64
+}
+
+// AblationLRUQualityResult compares the production LRU approximation
+// against PolicyOracle, which evicts by exact last-access age. The gap
+// measures how much savings better cold-page detection could still buy —
+// the question behind §5.3's interest in hardware-assisted hot/cold
+// estimation.
+type AblationLRUQualityResult struct {
+	LRU, Oracle LRUQualityOutcome
+}
+
+// LRUEfficiency is the LRU's savings as a fraction of the oracle's.
+func (r AblationLRUQualityResult) LRUEfficiency() float64 {
+	if r.Oracle.SavingsFrac == 0 {
+		return 0
+	}
+	return r.LRU.SavingsFrac / r.Oracle.SavingsFrac
+}
+
+// AblationLRUQuality runs the comparison under identical Senpai settings.
+func AblationLRUQuality(cfg Config) AblationLRUQualityResult {
+	warm := cfg.dur(60*vclock.Minute, 15*vclock.Minute)
+	measure := cfg.dur(20*vclock.Minute, 5*vclock.Minute)
+	p := cfg.profile("feed")
+
+	run := func(policy mm.ReclaimPolicy) LRUQualityOutcome {
+		sys := core.New(core.Options{
+			Mode:          core.ModeZswap,
+			CapacityBytes: 2 * p.FootprintBytes,
+			Policy:        policy,
+			Senpai:        cfg.senpai(senpai.ConfigA()),
+			Seed:          cfg.Seed + 2200,
+		})
+		app := sys.AddProfile(p, cgroup.Workload)
+		initial := float64(app.Group.MemoryCurrent())
+		sys.Run(warm)
+		st0 := app.Group.MM().Stat()
+		tr := app.Group.PSI()
+		tr.Sync(sys.Server.Now())
+		m0 := tr.Total(psi.Memory, psi.Some)
+		sys.Run(measure)
+		st1 := app.Group.MM().Stat()
+		tr.Sync(sys.Server.Now())
+		m1 := tr.Total(psi.Memory, psi.Some)
+		return LRUQualityOutcome{
+			Policy:      policy,
+			SavingsFrac: 1 - float64(app.Group.MemoryCurrent())/initial,
+			FaultsPerS:  float64(st1.SwapIns-st0.SwapIns+st1.Refaults-st0.Refaults) / measure.Seconds(),
+			MemPressure: psi.WindowedPressure(m0, m1, measure),
+		}
+	}
+	return AblationLRUQualityResult{
+		LRU:    run(mm.PolicyTMO),
+		Oracle: run(mm.PolicyOracle),
+	}
+}
+
+// Render implements Result.
+func (r AblationLRUQualityResult) Render() string {
+	rows := [][]string{{"Policy", "savings", "faults/s", "mem pressure"}}
+	for _, o := range []LRUQualityOutcome{r.LRU, r.Oracle} {
+		rows = append(rows, []string{
+			o.Policy.String(),
+			fmt.Sprintf("%.1f%%", 100*o.SavingsFrac),
+			fmt.Sprintf("%.1f", o.FaultsPerS),
+			fmt.Sprintf("%.4f", o.MemPressure),
+		})
+	}
+	return "Ablation (§5.3): production LRU vs exact-coldness oracle\n" + textplot.Table(rows) +
+		fmt.Sprintf("the LRU approximation achieves %.0f%% of the oracle's savings\n", 100*r.LRUEfficiency())
+}
+
+var _ Result = AblationLRUQualityResult{}

@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+func TestAutoTuneShape(t *testing.T) {
+	r := AutoTune(cfg)
+	// The tuner must find substantially more savings than the fixed
+	// conservative ratio within the same window...
+	if r.TunedSavings < r.StaticSavings+0.10 {
+		t.Errorf("tuner gained only %.1f%% over static %.1f%%",
+			100*r.TunedSavings, 100*r.StaticSavings)
+	}
+	// ...without blowing the pressure budget (AIMD cuts on breach).
+	if r.TunedPressure > 0.002 {
+		t.Errorf("tuned pressure %.4f above 2x threshold", r.TunedPressure)
+	}
+	if r.FinalMultiplier <= 1 {
+		t.Errorf("multiplier did not ramp: %v", r.FinalMultiplier)
+	}
+}
+
+func TestAblationLRUQualityShape(t *testing.T) {
+	r := AblationLRUQuality(cfg)
+	// The oracle bounds the LRU from above...
+	if r.Oracle.SavingsFrac < r.LRU.SavingsFrac {
+		t.Errorf("oracle (%v) saved less than the LRU (%v)",
+			r.Oracle.SavingsFrac, r.LRU.SavingsFrac)
+	}
+	// ...but the production LRU must be a decent approximation: the gap is
+	// what §5.3's hardware assistance could close.
+	if eff := r.LRUEfficiency(); eff < 0.6 {
+		t.Errorf("LRU achieves only %.0f%% of oracle savings", 100*eff)
+	}
+	// Both hold pressure.
+	for _, o := range []LRUQualityOutcome{r.LRU, r.Oracle} {
+		if o.MemPressure > 0.005 {
+			t.Errorf("%v pressure %v out of bounds", o.Policy, o.MemPressure)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+func TestColocationShape(t *testing.T) {
+	r := Colocation(cfg)
+	// Without offloading, stacking the services on 67% of their combined
+	// DRAM overcommits the host (a real deployment would OOM-kill).
+	if r.OffOOMs == 0 {
+		t.Errorf("no overcommit incidents without TMO")
+	}
+	// With TMO the same host absorbs both services safely.
+	if r.TMOOOMs != 0 {
+		t.Errorf("TMO tier still overcommitted: %d OOM events", r.TMOOOMs)
+	}
+	if r.TMOPressure >= r.OffPressure {
+		t.Errorf("TMO pressure %v not below off pressure %v", r.TMOPressure, r.OffPressure)
+	}
+	// Throughput under TMO tracks the isolated upper bound.
+	if r.TMOEfficiency() < 0.97 {
+		t.Errorf("TMO efficiency = %v", r.TMOEfficiency())
+	}
+	if r.TMORPS < r.OffRPS {
+		t.Errorf("TMO RPS %v below off RPS %v", r.TMORPS, r.OffRPS)
+	}
+}

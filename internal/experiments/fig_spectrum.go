@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tmo/internal/cgroup"
+	"tmo/internal/core"
+	"tmo/internal/psi"
+	"tmo/internal/senpai"
+	"tmo/internal/textplot"
+	"tmo/internal/vclock"
+)
+
+// SpectrumPoint is one backend's equilibrium under identical workload and
+// controller settings.
+type SpectrumPoint struct {
+	Mode core.Mode
+	// Label includes the device for SSD modes.
+	Label string
+	// MedianLoadUs characterises the backend's speed (typical page load).
+	MedianLoadUs float64
+	// SavingsFrac is net resident reduction vs baseline.
+	SavingsFrac float64
+	// MeanMemPressure over the measurement window.
+	MeanMemPressure float64
+	// RPS over the window.
+	RPS float64
+}
+
+// SpectrumResult sweeps the offload-backend spectrum — CXL, NVM, zswap,
+// fast SSD, slow SSD — under one workload and the production controller.
+// It is the synthesis of the paper's thesis: PSI-driven control
+// automatically offloads deeper on faster tiers, with no per-backend
+// configuration, so savings scale with backend speed while pressure stays
+// bounded. (§2.5 motivates the spectrum; §5.2 anticipates the new tiers.)
+type SpectrumResult struct {
+	Points []SpectrumPoint
+}
+
+// SweepBackends runs the spectrum experiment.
+func SweepBackends(cfg Config) SpectrumResult {
+	warm := cfg.dur(90*vclock.Minute, 15*vclock.Minute)
+	measure := cfg.dur(30*vclock.Minute, 6*vclock.Minute)
+	p := cfg.profile("feed")
+	capacity := 2 * p.FootprintBytes
+
+	baseline := func() float64 {
+		sys := core.New(core.Options{Mode: core.ModeOff, CapacityBytes: capacity, Seed: cfg.Seed + 1700})
+		app := sys.AddProfile(p, cgroup.Workload)
+		sys.Run(warm / 4)
+		return float64(app.Group.MemoryCurrent())
+	}()
+
+	type tier struct {
+		mode   core.Mode
+		device string
+		label  string
+	}
+	tiers := []tier{
+		{core.ModeCXL, "C", "cxl-dram"},
+		{core.ModeNVM, "C", "nvm-optane"},
+		{core.ModeZswap, "C", "zswap-zstd"},
+		{core.ModeSSDSwap, "C", "ssd-C (fast)"},
+		{core.ModeSSDSwap, "B", "ssd-B (slow)"},
+	}
+
+	var res SpectrumResult
+	for _, tr := range tiers {
+		sys := core.New(core.Options{
+			Mode:          tr.mode,
+			CapacityBytes: capacity,
+			DeviceModel:   tr.device,
+			Senpai:        cfg.senpai(senpai.ConfigA()),
+			Seed:          cfg.Seed + 1700,
+		})
+		app := sys.AddProfile(p, cgroup.Workload)
+		sys.Run(warm)
+		c0 := app.Completed()
+		tracker := app.Group.PSI()
+		tracker.Sync(sys.Server.Now())
+		m0 := tracker.Total(psi.Memory, psi.Some)
+		var netSum float64
+		steps := int(measure / (10 * vclock.Second))
+		for i := 0; i < steps; i++ {
+			sys.Run(10 * vclock.Second)
+			netSum += float64(sys.NetResidentBytes())
+		}
+		tracker.Sync(sys.Server.Now())
+		m1 := tracker.Total(psi.Memory, psi.Some)
+
+		res.Points = append(res.Points, SpectrumPoint{
+			Mode:            tr.mode,
+			Label:           tr.label,
+			MedianLoadUs:    medianLoadUs(sys),
+			SavingsFrac:     1 - netSum/float64(steps)/baseline,
+			MeanMemPressure: psi.WindowedPressure(m0, m1, measure),
+			RPS:             float64(app.Completed()-c0) / measure.Seconds(),
+		})
+	}
+	return res
+}
+
+// medianLoadUs reports the configured backend's typical page-load latency.
+func medianLoadUs(sys *core.System) float64 {
+	switch {
+	case sys.NVM != nil:
+		return float64(sys.NVM.Spec().ReadMedian)
+	case sys.Zswap != nil && sys.Tiered == nil:
+		return float64(sys.Zswap.Codec().DecompressMedian)
+	case sys.SSDSwap != nil:
+		return float64(sys.SSDSwap.Device().Spec.ReadMedian)
+	}
+	return 0
+}
+
+// FastestBeatsSlowest reports whether the fastest tier achieved strictly
+// more savings than the slowest — the spectrum's headline ordering.
+func (r SpectrumResult) FastestBeatsSlowest() bool {
+	if len(r.Points) < 2 {
+		return false
+	}
+	return r.Points[0].SavingsFrac > r.Points[len(r.Points)-1].SavingsFrac
+}
+
+// Render implements Result.
+func (r SpectrumResult) Render() string {
+	rows := [][]string{{"Backend", "median load (us)", "Savings", "mem pressure", "RPS"}}
+	labels := make([]string, 0, len(r.Points))
+	values := make([]float64, 0, len(r.Points))
+	for _, pt := range r.Points {
+		rows = append(rows, []string{
+			pt.Label,
+			fmt.Sprintf("%.1f", pt.MedianLoadUs),
+			fmt.Sprintf("%.1f%%", 100*pt.SavingsFrac),
+			fmt.Sprintf("%.4f", pt.MeanMemPressure),
+			fmt.Sprintf("%.0f", pt.RPS),
+		})
+		labels = append(labels, pt.Label)
+		values = append(values, 100*pt.SavingsFrac)
+	}
+	var b strings.Builder
+	b.WriteString("Backend spectrum: savings vs tier speed under one controller config\n")
+	b.WriteString(textplot.Table(rows))
+	b.WriteString(textplot.Bar("savings % by backend", labels, values, 40))
+	return b.String()
+}
+
+var _ Result = SpectrumResult{}

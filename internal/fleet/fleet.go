@@ -1,0 +1,270 @@
+// Package fleet runs populations of simulated servers and aggregates their
+// results, the way the paper reports fleet-wide numbers: per-application
+// savings come from A/B pairs of identically seeded hosts with offloading
+// off and on (the production load-test methodology of §4.2), and fleet
+// figures are weighted means across the application mix.
+package fleet
+
+import (
+	"fmt"
+
+	"tmo/internal/cgroup"
+	"tmo/internal/core"
+	"tmo/internal/mm"
+	"tmo/internal/senpai"
+	"tmo/internal/vclock"
+	"tmo/internal/workload"
+)
+
+// Spec describes one server configuration in the fleet.
+type Spec struct {
+	// App is the primary workload's catalog name.
+	App string
+	// Mode is the offload configuration under test.
+	Mode core.Mode
+	// Device is the host SSD model letter (default "C").
+	Device string
+	// Scale multiplies all workload footprints (app and tax); default 1.
+	// Experiments use reduced scales to keep page-level simulation fast.
+	Scale float64
+	// CapacityBytes is host DRAM; defaults to twice the app footprint.
+	CapacityBytes int64
+	// Senpai optionally overrides the controller configuration.
+	Senpai *senpai.Config
+	// WithTax co-schedules the datacenter- and microservice-tax sidecars.
+	WithTax bool
+	// Seed makes the server deterministic; A/B pairs share it.
+	Seed uint64
+	// Weight is the spec's share of the fleet population (for weighted
+	// aggregates); default 1.
+	Weight float64
+}
+
+// normalize fills the spec's defaults.
+func (s Spec) normalize() Spec {
+	if s.Device == "" {
+		s.Device = "C"
+	}
+	if s.Scale <= 0 {
+		s.Scale = 1
+	}
+	if s.CapacityBytes <= 0 {
+		s.CapacityBytes = 2 * s.appProfile().FootprintBytes
+	}
+	if s.Weight <= 0 {
+		s.Weight = 1
+	}
+	return s
+}
+
+// appProfile loads the spec's primary workload at the spec scale.
+func (s Spec) appProfile() workload.Profile {
+	scale := s.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	return workload.MustCatalog(s.App).Scale(scale)
+}
+
+// runStats is what one run of one server yields over the measurement
+// window: time-averaged resident bytes by group kind and page type, plus
+// request throughput.
+type runStats struct {
+	appAnon, appFile   float64
+	dcTax, microTax    float64
+	poolForApp         float64
+	poolForTax         float64
+	completed          int64
+	samples            int
+	oomEvents          int64
+	deviceWrittenBytes int64
+}
+
+// appResident returns the app's net resident memory including its share of
+// the compressed pool.
+func (r runStats) appResident() float64 { return r.appAnon + r.appFile + r.poolForApp }
+
+// buildSystem assembles a server for the spec in the given mode.
+func buildSystem(s Spec, mode core.Mode) (*core.System, *workload.App, *workload.App, *workload.App) {
+	sys := core.New(core.Options{
+		Mode:          mode,
+		CapacityBytes: s.CapacityBytes,
+		DeviceModel:   s.Device,
+		Senpai:        s.Senpai,
+		Seed:          s.Seed,
+	})
+	app := sys.AddProfile(s.appProfile(), cgroup.Workload)
+	var dc, micro *workload.App
+	if s.WithTax {
+		dc, micro = sys.AddTaxProfiles(
+			workload.MustCatalog("datacenter-tax").Scale(s.Scale),
+			workload.MustCatalog("microservice-tax").Scale(s.Scale))
+	}
+	return sys, app, dc, micro
+}
+
+// runOne executes the spec in the given mode: warm first, then sample
+// resident composition every sampleEvery during the measurement window.
+func runOne(s Spec, mode core.Mode, warm, measure vclock.Duration) runStats {
+	sys, app, dc, micro := buildSystem(s, mode)
+	sys.Run(warm)
+
+	var st runStats
+	completedAtStart := app.Completed()
+	const sampleEvery = 10 * vclock.Second
+	steps := int(measure / sampleEvery)
+	if steps < 1 {
+		steps = 1
+	}
+	for i := 0; i < steps; i++ {
+		sys.Run(sampleEvery)
+		st.appAnon += float64(app.Group.MM().ResidentBytesOf(mm.Anon))
+		st.appFile += float64(app.Group.MM().ResidentBytesOf(mm.File))
+		pool := float64(sys.Metrics().PoolBytes)
+		if pool > 0 {
+			// Attribute the compressed pool to groups by their share of
+			// offloaded pages.
+			total := app.Group.MM().SwappedBytes()
+			taxSwapped := int64(0)
+			if dc != nil {
+				taxSwapped = dc.Group.MM().SwappedBytes() + micro.Group.MM().SwappedBytes()
+				total += taxSwapped
+			}
+			if total > 0 {
+				st.poolForApp += pool * float64(app.Group.MM().SwappedBytes()) / float64(total)
+				st.poolForTax += pool * float64(taxSwapped) / float64(total)
+			}
+		}
+		if dc != nil {
+			st.dcTax += float64(dc.Group.MemoryCurrent())
+			st.microTax += float64(micro.Group.MemoryCurrent())
+		}
+		st.samples++
+	}
+	n := float64(st.samples)
+	st.appAnon /= n
+	st.appFile /= n
+	st.dcTax /= n
+	st.microTax /= n
+	st.poolForApp /= n
+	st.poolForTax /= n
+	st.completed = app.Completed() - completedAtStart
+	st.oomEvents = sys.Metrics().OOMEvents
+	st.deviceWrittenBytes = sys.Metrics().DeviceWrittenBytes
+	return st
+}
+
+// Measurement compares one spec against its offloading-disabled twin.
+type Measurement struct {
+	Spec Spec
+
+	// SavingsFrac is the app's net resident-memory reduction relative to
+	// baseline (the Fig. 9 metric), pool overhead included.
+	SavingsFrac float64
+	// AnonSavedFrac / FileSavedFrac decompose SavingsFrac by page type.
+	AnonSavedFrac, FileSavedFrac float64
+
+	// Tax savings as fractions of total server memory (the Fig. 10
+	// metric); zero unless WithTax.
+	DCTaxSavingsOfTotal, MicroTaxSavingsOfTotal float64
+
+	// RPSRatio is TMO throughput over baseline throughput.
+	RPSRatio float64
+	// OOMEvents from the TMO run.
+	OOMEvents int64
+}
+
+// TaxSavingsOfTotal is the combined tax savings as a fraction of server
+// memory.
+func (m Measurement) TaxSavingsOfTotal() float64 {
+	return m.DCTaxSavingsOfTotal + m.MicroTaxSavingsOfTotal
+}
+
+// Measure runs the spec's A/B pair and reports savings. warm should cover
+// startup transients; measure is the averaging window.
+func Measure(spec Spec, warm, measure vclock.Duration) Measurement {
+	spec = spec.normalize()
+	base := runOne(spec, core.ModeOff, warm, measure)
+	tmo := runOne(spec, spec.Mode, warm, measure)
+
+	m := Measurement{Spec: spec, OOMEvents: tmo.oomEvents}
+	baseRes := base.appResident()
+	if baseRes > 0 {
+		saved := baseRes - tmo.appResident()
+		m.SavingsFrac = saved / baseRes
+		m.AnonSavedFrac = (base.appAnon - tmo.appAnon - tmo.poolForApp) / baseRes
+		m.FileSavedFrac = (base.appFile - tmo.appFile) / baseRes
+	}
+	if spec.WithTax {
+		cap := float64(spec.CapacityBytes)
+		m.DCTaxSavingsOfTotal = (base.dcTax - tmo.dcTax - tmo.poolForTax/2) / cap
+		m.MicroTaxSavingsOfTotal = (base.microTax - tmo.microTax - tmo.poolForTax/2) / cap
+	}
+	if base.completed > 0 {
+		m.RPSRatio = float64(tmo.completed) / float64(base.completed)
+	}
+	return m
+}
+
+// WeightedTaxSavings aggregates tax savings across a fleet mix, returning
+// (datacenter, microservice) savings as fractions of server memory.
+func WeightedTaxSavings(ms []Measurement) (dc, micro float64) {
+	var wsum float64
+	for _, m := range ms {
+		w := m.Spec.Weight
+		dc += w * m.DCTaxSavingsOfTotal
+		micro += w * m.MicroTaxSavingsOfTotal
+		wsum += w
+	}
+	if wsum == 0 {
+		return 0, 0
+	}
+	return dc / wsum, micro / wsum
+}
+
+// String renders a measurement as one report row.
+func (m Measurement) String() string {
+	return fmt.Sprintf("%-12s %-9s savings=%5.1f%% (anon %4.1f%% file %4.1f%%) rps=%.2f",
+		m.Spec.App, m.Spec.Mode, 100*m.SavingsFrac, 100*m.AnonSavedFrac, 100*m.FileSavedFrac, m.RPSRatio)
+}
+
+// Cluster runs n identically configured servers (differing only by seed)
+// and invokes visit with each system after building it, before running.
+// It is the building block for the Fig. 14 fleet-percentile experiment.
+func Cluster(spec Spec, n int, build func(i int, sys *core.System, app *workload.App)) []*core.System {
+	spec = spec.normalize()
+	out := make([]*core.System, n)
+	for i := 0; i < n; i++ {
+		s := spec
+		s.Seed = spec.Seed + uint64(i)*1000
+		sys, app, _, _ := buildSystem(s, s.Mode)
+		if build != nil {
+			build(i, sys, app)
+		}
+		out[i] = sys
+	}
+	return out
+}
+
+// DefaultMix returns a representative fleet mix with population weights;
+// used by the Fig. 10 tax aggregation.
+func DefaultMix(mode core.Mode, seed uint64) []Spec {
+	apps := []struct {
+		name   string
+		weight float64
+	}{
+		{"web", 0.25}, {"feed", 0.15}, {"cache-a", 0.10}, {"cache-b", 0.10},
+		{"ads-a", 0.10}, {"ads-b", 0.10}, {"analytics", 0.10}, {"warehouse", 0.10},
+	}
+	out := make([]Spec, len(apps))
+	for i, a := range apps {
+		out[i] = Spec{
+			App:     a.name,
+			Mode:    mode,
+			Weight:  a.weight,
+			WithTax: true,
+			Seed:    seed + uint64(i)*17,
+		}
+	}
+	return out
+}

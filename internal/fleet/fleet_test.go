@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"testing"
+
+	"tmo/internal/core"
+	"tmo/internal/senpai"
+	"tmo/internal/vclock"
+	"tmo/internal/workload"
+)
+
+// fastSenpai converges within test-scale windows.
+func fastSenpai() *senpai.Config {
+	c := senpai.ConfigA()
+	c.ReclaimRatio = 0.005
+	return &c
+}
+
+func TestSpecNormalize(t *testing.T) {
+	s := Spec{App: "feed"}.normalize()
+	if s.Device != "C" || s.Weight != 1 {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	want := 2 * workload.MustCatalog("feed").FootprintBytes
+	if s.CapacityBytes != want {
+		t.Fatalf("capacity default = %d, want %d", s.CapacityBytes, want)
+	}
+}
+
+func TestMeasureZswapSavings(t *testing.T) {
+	m := Measure(Spec{
+		App:    "feed",
+		Mode:   core.ModeZswap,
+		Senpai: fastSenpai(),
+		Seed:   100,
+	}, 5*vclock.Minute, 5*vclock.Minute)
+
+	if m.SavingsFrac <= 0.03 {
+		t.Fatalf("zswap savings = %.1f%%, want positive", 100*m.SavingsFrac)
+	}
+	if m.SavingsFrac > 0.5 {
+		t.Fatalf("zswap savings implausible: %.1f%%", 100*m.SavingsFrac)
+	}
+	// The decomposition must roughly add up to the total.
+	sum := m.AnonSavedFrac + m.FileSavedFrac
+	if diff := m.SavingsFrac - sum; diff > 0.02 || diff < -0.02 {
+		t.Fatalf("decomposition %v+%v != total %v", m.AnonSavedFrac, m.FileSavedFrac, m.SavingsFrac)
+	}
+	// Throughput must not collapse.
+	if m.RPSRatio < 0.9 {
+		t.Fatalf("RPS ratio = %v under mild offloading", m.RPSRatio)
+	}
+	if m.OOMEvents != 0 {
+		t.Fatalf("OOM events during measurement")
+	}
+	if m.String() == "" {
+		t.Fatalf("empty measurement string")
+	}
+}
+
+func TestMeasureWithTax(t *testing.T) {
+	m := Measure(Spec{
+		App:     "cache-a",
+		Mode:    core.ModeZswap,
+		Senpai:  fastSenpai(),
+		WithTax: true,
+		Seed:    200,
+	}, 5*vclock.Minute, 5*vclock.Minute)
+	if m.TaxSavingsOfTotal() <= 0 {
+		t.Fatalf("tax savings = %v, want positive", m.TaxSavingsOfTotal())
+	}
+	// Tax footprints are a modest share of the server; savings must be
+	// bounded by that share.
+	if m.TaxSavingsOfTotal() > 0.5 {
+		t.Fatalf("tax savings %v exceed plausibility", m.TaxSavingsOfTotal())
+	}
+}
+
+func TestWeightedTaxSavings(t *testing.T) {
+	ms := []Measurement{
+		{Spec: Spec{Weight: 1}, DCTaxSavingsOfTotal: 0.10, MicroTaxSavingsOfTotal: 0.04},
+		{Spec: Spec{Weight: 3}, DCTaxSavingsOfTotal: 0.06, MicroTaxSavingsOfTotal: 0.04},
+	}
+	dc, micro := WeightedTaxSavings(ms)
+	if dc != 0.07 {
+		t.Fatalf("weighted dc = %v, want 0.07", dc)
+	}
+	if micro != 0.04 {
+		t.Fatalf("weighted micro = %v, want 0.04", micro)
+	}
+	if d, m2 := WeightedTaxSavings(nil); d != 0 || m2 != 0 {
+		t.Fatalf("empty aggregate not zero")
+	}
+}
+
+func TestClusterSeedsDiffer(t *testing.T) {
+	systems := Cluster(Spec{App: "ads-b", Mode: core.ModeSSDSwap, Senpai: fastSenpai(), Seed: 1}, 3, nil)
+	if len(systems) != 3 {
+		t.Fatalf("cluster size %d", len(systems))
+	}
+	for _, sys := range systems {
+		sys.Run(30 * vclock.Second)
+	}
+	// Different seeds must produce different trajectories.
+	a := systems[0].Server.Apps()[0].Completed()
+	b := systems[1].Server.Apps()[0].Completed()
+	if a == b {
+		t.Fatalf("cluster members identical: %d requests each", a)
+	}
+}
+
+func TestDefaultMixWeightsSum(t *testing.T) {
+	mix := DefaultMix(core.ModeZswap, 7)
+	var sum float64
+	for _, s := range mix {
+		if !s.WithTax {
+			t.Fatalf("mix member %s lacks tax sidecars", s.App)
+		}
+		sum += s.Weight
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("mix weights sum to %v", sum)
+	}
+}

@@ -1,0 +1,224 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tmo/internal/dist"
+	"tmo/internal/vclock"
+)
+
+func TestEWMAPrimesOnFirstSample(t *testing.T) {
+	e := NewEWMA(10 * vclock.Second)
+	if got := e.Update(0, 5); got != 5 {
+		t.Fatalf("first update = %v, want 5", got)
+	}
+	if e.Value() != 5 {
+		t.Fatalf("Value() = %v", e.Value())
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(10 * vclock.Second)
+	now := vclock.Time(0)
+	e.Update(now, 0)
+	for i := 0; i < 100; i++ {
+		now = now.Add(vclock.Second)
+		e.Update(now, 100)
+	}
+	if math.Abs(e.Value()-100) > 0.1 {
+		t.Fatalf("EWMA did not converge: %v", e.Value())
+	}
+}
+
+func TestEWMAHalfDecay(t *testing.T) {
+	// After exactly one window of constant new input, the average should
+	// have moved 1-1/e of the way to the new value.
+	e := NewEWMA(10 * vclock.Second)
+	e.Update(0, 0)
+	e.Update(vclock.Time(10*vclock.Second), 1)
+	want := 1 - math.Exp(-1)
+	if math.Abs(e.Value()-want) > 1e-9 {
+		t.Fatalf("after one window: %v, want %v", e.Value(), want)
+	}
+}
+
+func TestRateMeterSteadyRate(t *testing.T) {
+	m := NewRateMeter(vclock.Second, 10)
+	now := vclock.Time(0)
+	// 100 units per second for 20 seconds.
+	for i := 0; i < 200; i++ {
+		m.Add(now, 10)
+		now = now.Add(100 * vclock.Millisecond)
+	}
+	rate := m.Rate(now)
+	if math.Abs(rate-100)/100 > 0.05 {
+		t.Fatalf("steady rate = %v, want ~100", rate)
+	}
+}
+
+func TestRateMeterDecaysAfterStop(t *testing.T) {
+	m := NewRateMeter(vclock.Second, 5)
+	now := vclock.Time(0)
+	for i := 0; i < 50; i++ {
+		m.Add(now, 10)
+		now = now.Add(100 * vclock.Millisecond)
+	}
+	if r := m.Rate(now); r < 50 {
+		t.Fatalf("rate before stop = %v", r)
+	}
+	// Advance past the whole window with no events.
+	now = now.Add(10 * vclock.Second)
+	if r := m.Rate(now); r != 0 {
+		t.Fatalf("rate after idle window = %v, want 0", r)
+	}
+}
+
+func TestRateMeterEmptyIsZero(t *testing.T) {
+	m := NewRateMeter(vclock.Second, 4)
+	if r := m.Rate(vclock.Time(5 * vclock.Second)); r != 0 {
+		t.Fatalf("empty meter rate = %v", r)
+	}
+}
+
+func TestRateMeterBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic for invalid config")
+		}
+	}()
+	NewRateMeter(vclock.Second, 1)
+}
+
+func TestReservoirExact(t *testing.T) {
+	r := NewReservoir(100, dist.NewRand(1).Int64N)
+	for i := 1; i <= 100; i++ {
+		r.Add(float64(i))
+	}
+	if r.Count() != 100 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if q := r.Quantile(0.5); math.Abs(q-50) > 1.5 {
+		t.Fatalf("median = %v, want ~50", q)
+	}
+	if q := r.Quantile(0); q != 1 {
+		t.Fatalf("min = %v, want 1", q)
+	}
+	if q := r.Quantile(1); q != 100 {
+		t.Fatalf("max = %v, want 100", q)
+	}
+	if m := r.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 50.5", m)
+	}
+}
+
+func TestReservoirSampling(t *testing.T) {
+	r := NewReservoir(1000, dist.NewRand(2).Int64N)
+	for i := 0; i < 100000; i++ {
+		r.Add(float64(i % 1000))
+	}
+	// Uniform 0..999: median should be near 500.
+	if q := r.Quantile(0.5); math.Abs(q-500) > 60 {
+		t.Fatalf("sampled median = %v, want ~500", q)
+	}
+}
+
+func TestReservoirEmpty(t *testing.T) {
+	r := NewReservoir(10, dist.NewRand(3).Int64N)
+	if r.Quantile(0.5) != 0 || r.Mean() != 0 {
+		t.Fatalf("empty reservoir should report 0")
+	}
+}
+
+func TestSeriesRecordAndStats(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Record(vclock.Time(i)*vclock.Time(vclock.Second), float64(i))
+	}
+	if s.Last() != 9 {
+		t.Fatalf("Last = %v", s.Last())
+	}
+	from, to := vclock.Time(2*vclock.Second), vclock.Time(4*vclock.Second)
+	if m := s.MeanOver(from, to); m != 3 {
+		t.Fatalf("MeanOver = %v, want 3", m)
+	}
+	if mn := s.MinOver(from, to); mn != 2 {
+		t.Fatalf("MinOver = %v, want 2", mn)
+	}
+	if mx := s.MaxOver(from, to); mx != 4 {
+		t.Fatalf("MaxOver = %v, want 4", mx)
+	}
+}
+
+func TestSeriesEmptyWindows(t *testing.T) {
+	var s Series
+	if s.Last() != 0 || s.MeanOver(0, 100) != 0 || s.MinOver(0, 100) != 0 || s.MaxOver(0, 100) != 0 {
+		t.Fatalf("empty series should report zeros")
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	var s Series
+	for i := 0; i < 1000; i++ {
+		s.Record(vclock.Time(i), float64(i))
+	}
+	d := s.Downsample(10)
+	if len(d.Points) != 10 {
+		t.Fatalf("downsampled to %d points, want 10", len(d.Points))
+	}
+	// First bucket averages 0..99 -> 49.5.
+	if math.Abs(d.Points[0].V-49.5) > 1e-9 {
+		t.Fatalf("first bucket = %v, want 49.5", d.Points[0].V)
+	}
+	// Downsampling a short series is the identity.
+	short := &Series{Points: []Point{{0, 1}, {1, 2}}}
+	if got := short.Downsample(10); len(got.Points) != 2 {
+		t.Fatalf("short series downsample changed length")
+	}
+}
+
+// Property: a reservoir's quantiles always lie within the range of observed
+// values, regardless of insertion order or volume.
+func TestReservoirQuantileInRange(t *testing.T) {
+	f := func(vals []float64, qRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		r := NewReservoir(32, dist.NewRand(7).Int64N)
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			r.Add(v)
+			mn = math.Min(mn, v)
+			mx = math.Max(mx, v)
+		}
+		q := float64(qRaw) / 255
+		got := r.Quantile(q)
+		return got >= mn && got <= mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the rate meter never reports a negative rate.
+func TestRateMeterNonNegative(t *testing.T) {
+	f := func(events []uint8) bool {
+		m := NewRateMeter(100*vclock.Millisecond, 8)
+		now := vclock.Time(0)
+		for _, e := range events {
+			now = now.Add(vclock.Duration(e) * vclock.Millisecond)
+			m.Add(now, float64(e))
+			if m.Rate(now) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package mm
+
+import (
+	"testing"
+
+	"tmo/internal/vclock"
+)
+
+// Hot-path micro-benchmarks: the simulator runs millions of touches and
+// thousands of reclaim passes per experiment, so these paths bound how much
+// virtual time a wall-clock second buys.
+
+func BenchmarkTouchResident(b *testing.B) {
+	m := newTestManager(1<<18, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, Anon, 4096, 1)
+	touchAll(m, 0, pages)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Touch(vclock.Time(i), pages[i%len(pages)])
+	}
+}
+
+func BenchmarkSwapInFault(b *testing.B) {
+	z := newZswap()
+	m := newTestManager(1<<18, z, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, Anon, 4096, 2)
+	touchAll(m, 0, pages)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pages[i%len(pages)]
+		// Offload one page then fault it back: one store plus one load
+		// per iteration.
+		m.SetLimit(vclock.Time(i), g, g.HierResidentBytes()-pageSize)
+		m.SetLimit(vclock.Time(i), g, 0)
+		m.Touch(vclock.Time(i), p)
+	}
+}
+
+func BenchmarkProactiveReclaim(b *testing.B) {
+	z := newZswap()
+	m := newTestManager(1<<20, z, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, File, 65536, 1)
+	touchAll(m, 0, pages)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Reclaim a batch, then touch it back in so the working set stays
+		// stable across iterations.
+		m.ProactiveReclaim(vclock.Time(i)*vclock.Time(vclock.Second), g, 64*pageSize)
+		for _, p := range pages[:64] {
+			if p.State() != Resident {
+				m.Touch(vclock.Time(i)*vclock.Time(vclock.Second), p)
+			}
+		}
+	}
+}
+
+func BenchmarkColdnessSurvey(b *testing.B) {
+	m := newTestManager(1<<18, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, Anon, 65536, 1)
+	touchAll(m, 0, pages)
+	windows := []vclock.Duration{vclock.Minute, 2 * vclock.Minute, 5 * vclock.Minute}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Coldness(vclock.Time(i), pages, windows)
+	}
+}

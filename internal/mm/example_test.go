@@ -1,0 +1,41 @@
+package mm_test
+
+import (
+	"fmt"
+
+	"tmo/internal/backend"
+	"tmo/internal/mm"
+	"tmo/internal/vclock"
+)
+
+// Example demonstrates shadow-entry refault detection (§3.4): a file page
+// evicted and promptly re-read is a working-set refault; a page whose reuse
+// distance exceeds resident memory is just a cold read.
+func Example() {
+	spec, _ := backend.DeviceByModel("C")
+	mgr := mm.NewManager(mm.Config{
+		CapacityBytes: 64 << 20,
+		FS:            backend.NewFilesystem(backend.NewSSDDevice(spec, 1)),
+	})
+	g := mgr.NewGroup("app", nil)
+	pages := mgr.NewPages(g, mm.File, 10, 1)
+	for _, p := range pages {
+		mgr.Touch(0, p)
+	}
+
+	// Evict the two coldest pages via the memory.reclaim path.
+	mgr.ProactiveReclaim(vclock.Time(vclock.Second), g, 2*4096)
+
+	// Touching one right back: its reuse distance fits in resident memory.
+	res := mgr.Touch(vclock.Time(2*vclock.Second), pages[0])
+	fmt.Printf("prompt reuse: refault=%v (memory stall: %v)\n", res.Refault, res.MemStall)
+
+	// Evict everything, then return: nothing resident means any distance
+	// is out of window.
+	mgr.ProactiveReclaim(vclock.Time(3*vclock.Second), g, 10*4096)
+	res = mgr.Touch(vclock.Time(4*vclock.Second), pages[5])
+	fmt.Printf("distant reuse: refault=%v cold=%v\n", res.Refault, res.ColdRead)
+	// Output:
+	// prompt reuse: refault=true (memory stall: true)
+	// distant reuse: refault=false cold=true
+}

@@ -1,0 +1,531 @@
+package mm
+
+import (
+	"fmt"
+
+	"tmo/internal/backend"
+	"tmo/internal/vclock"
+)
+
+// ReclaimPolicy selects between the historical kernel reclaim behaviour and
+// the TMO-modified algorithm of §3.4.
+type ReclaimPolicy int
+
+// The reclaim policies.
+const (
+	// PolicyTMO reclaims file cache exclusively until refaults occur, then
+	// balances file and anonymous reclaim by observed paging cost.
+	PolicyTMO ReclaimPolicy = iota
+	// PolicyLegacy skews heavily toward file cache and uses swap only as
+	// an emergency overflow once the file cache is nearly gone.
+	PolicyLegacy
+	// PolicyOracle evicts the globally coldest pages by exact last-access
+	// time — unimplementable in a real kernel (it requires tracking every
+	// access), but the upper bound that the LRU approximation is measured
+	// against (§5.3 discusses the cost of cold-page detection).
+	PolicyOracle
+)
+
+// String names the policy.
+func (p ReclaimPolicy) String() string {
+	switch p {
+	case PolicyTMO:
+		return "tmo"
+	case PolicyLegacy:
+		return "legacy"
+	case PolicyOracle:
+		return "oracle"
+	}
+	return "invalid"
+}
+
+// Config parameterises a Manager.
+type Config struct {
+	// CapacityBytes is host DRAM size.
+	CapacityBytes int64
+	// PageSize in bytes; 4096 unless a test overrides it.
+	PageSize int64
+	// Swap is the offload backend for anonymous pages; nil runs file-only
+	// mode (§5.1's first deployment phase).
+	Swap backend.SwapBackend
+	// FS is the filesystem used to (re)load file pages. Required.
+	FS *backend.Filesystem
+	// Policy selects the reclaim algorithm.
+	Policy ReclaimPolicy
+	// ScanCPUPerPage is the CPU cost of examining one LRU page during
+	// reclaim; it feeds direct-reclaim stall time. Defaults to 500ns.
+	ScanCPUPerPage vclock.Duration
+	// FaultOverhead is the kernel-side cost of taking any major fault
+	// (trap entry, page allocation, LRU insertion, page-table fixup) paid
+	// on top of the backend latency. Defaults to 20us.
+	FaultOverhead vclock.Duration
+	// SwapReadahead, when positive, loads up to that many cluster
+	// neighbours alongside every swap-in, mirroring the kernel's swap
+	// readahead over adjacent swap slots (pages evicted together are
+	// adjacent). Readahead pages arrive unreferenced on the inactive
+	// list, so mistaken readahead is cheap to re-evict. Zero disables.
+	SwapReadahead int
+}
+
+// Manager simulates the host kernel's memory-management subsystem: a fixed
+// DRAM capacity, a tree of memory control groups, and the reclaim machinery.
+type Manager struct {
+	cfg  Config
+	root *Group
+
+	// swapExhausted latches when the swap backend reports ErrFull; anon
+	// scanning stops until space frees up.
+	swapExhausted bool
+
+	// Swap-cluster bookkeeping for readahead: consecutive swap-outs share
+	// a cluster (adjacent slots); clusterPages indexes the offloaded
+	// pages of each live cluster.
+	curCluster     uint64
+	curClusterSize int
+	clusterPages   map[uint64][]*Page
+
+	// readaheadIn counts pages loaded by readahead rather than faults.
+	readaheadIn int64
+
+	// oomEvents counts charges that proceeded even though reclaim could
+	// not make room — situations where a real kernel would OOM-kill.
+	oomEvents int64
+}
+
+// swapClusterSize matches the kernel's default readahead cluster (2^3).
+const swapClusterSize = 8
+
+// NewManager returns a Manager for a host with the given configuration.
+func NewManager(cfg Config) *Manager {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 4096
+	}
+	if cfg.ScanCPUPerPage <= 0 {
+		cfg.ScanCPUPerPage = vclock.Duration(1) // 1us per 2 pages is close enough at micro resolution
+	}
+	if cfg.FaultOverhead <= 0 {
+		cfg.FaultOverhead = 20 * vclock.Microsecond
+	}
+	if cfg.CapacityBytes <= 0 {
+		panic("mm: capacity must be positive")
+	}
+	if cfg.FS == nil {
+		panic("mm: filesystem backend is required")
+	}
+	m := &Manager{cfg: cfg, clusterPages: make(map[uint64][]*Page)}
+	m.root = &Group{name: "/", mgr: m}
+	return m
+}
+
+// ReadaheadIn returns how many pages swap readahead has brought in.
+func (m *Manager) ReadaheadIn() int64 { return m.readaheadIn }
+
+// noteSwapOut records an offloaded page into the current swap cluster.
+func (m *Manager) noteSwapOut(p *Page) {
+	if m.cfg.SwapReadahead <= 0 {
+		return
+	}
+	if m.curClusterSize >= swapClusterSize {
+		m.curCluster++
+		m.curClusterSize = 0
+	}
+	p.cluster = m.curCluster
+	m.clusterPages[m.curCluster] = append(m.clusterPages[m.curCluster], p)
+	m.curClusterSize++
+}
+
+// dropFromCluster removes a page from its swap cluster index.
+func (m *Manager) dropFromCluster(p *Page) {
+	if m.cfg.SwapReadahead <= 0 {
+		return
+	}
+	pages := m.clusterPages[p.cluster]
+	for i, q := range pages {
+		if q == p {
+			pages[i] = pages[len(pages)-1]
+			pages = pages[:len(pages)-1]
+			break
+		}
+	}
+	if len(pages) == 0 {
+		delete(m.clusterPages, p.cluster)
+	} else {
+		m.clusterPages[p.cluster] = pages
+	}
+}
+
+// readahead loads up to SwapReadahead cluster neighbours of p. The
+// neighbours ride the faulting page's cluster IO: they arrive unreferenced
+// at the inactive head and are not charged to the faulting task's stall.
+func (m *Manager) readahead(now vclock.Time, p *Page) {
+	if m.cfg.SwapReadahead <= 0 {
+		return
+	}
+	neighbours := append([]*Page(nil), m.clusterPages[p.cluster]...)
+	loaded := 0
+	for _, q := range neighbours {
+		if q == p || q.state != Offloaded || loaded >= m.cfg.SwapReadahead {
+			continue
+		}
+		m.cfg.Swap.Load(now, backend.Handle(q.handle))
+		m.dropFromCluster(q)
+		q.group.swappedPages--
+		m.readaheadIn++
+		m.tryCharge(now, q.group)
+		q.state = Resident
+		q.active = false
+		q.referenced = false
+		q.group.lists[q.Type][0].pushHead(q)
+		q.group.residentPages[q.Type]++
+		q.group.charge(m.cfg.PageSize)
+		loaded++
+	}
+}
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Root returns the root group, representing the whole host.
+func (m *Manager) Root() *Group { return m.root }
+
+// OOMEvents returns how many charges exceeded capacity despite reclaim.
+func (m *Manager) OOMEvents() int64 { return m.oomEvents }
+
+// SwapExhausted reports whether the swap backend last refused a store.
+func (m *Manager) SwapExhausted() bool { return m.swapExhausted }
+
+// NewGroup creates a child memory control group under parent (the root if
+// nil).
+func (m *Manager) NewGroup(name string, parent *Group) *Group {
+	if parent == nil {
+		parent = m.root
+	}
+	if parent.mgr != m {
+		panic("mm: parent group belongs to a different manager")
+	}
+	g := &Group{name: name, mgr: m, parent: parent}
+	parent.children = append(parent.children, g)
+	return g
+}
+
+// SetLimit sets g's memory.max. If current usage exceeds the new limit the
+// excess is reclaimed synchronously, as writing memory.max does in the
+// kernel. It returns the reclaim outcome (zero result if none was needed).
+func (m *Manager) SetLimit(now vclock.Time, g *Group, limit int64) ReclaimResult {
+	g.limitBytes = limit
+	if limit <= 0 {
+		return ReclaimResult{}
+	}
+	if over := g.usageForLimit() - limit; over > 0 {
+		return m.reclaim(now, g, over, false)
+	}
+	return ReclaimResult{}
+}
+
+// ProactiveReclaim is the memory.reclaim control file (§3.3): it asks the
+// kernel to reclaim the given number of bytes from g's subtree without
+// changing any limit. This is the stateless knob Senpai drives.
+func (m *Manager) ProactiveReclaim(now vclock.Time, g *Group, bytes int64) ReclaimResult {
+	if bytes <= 0 {
+		return ReclaimResult{}
+	}
+	return m.reclaim(now, g, bytes, false)
+}
+
+// HostStat summarises host-level memory occupancy.
+type HostStat struct {
+	CapacityBytes int64
+	// ResidentBytes is application-resident memory across all groups.
+	ResidentBytes int64
+	// PoolBytes is DRAM consumed by the swap backend (zswap pool).
+	PoolBytes int64
+	// FreeBytes is unallocated DRAM.
+	FreeBytes int64
+}
+
+// HostStat returns the current host occupancy.
+func (m *Manager) HostStat() HostStat {
+	var pool int64
+	if m.cfg.Swap != nil {
+		pool = m.cfg.Swap.PoolBytes()
+	}
+	res := m.root.hierResidentBytes
+	return HostStat{
+		CapacityBytes: m.cfg.CapacityBytes,
+		ResidentBytes: res,
+		PoolBytes:     pool,
+		FreeBytes:     m.cfg.CapacityBytes - res - pool,
+	}
+}
+
+// NewPages creates n pages of the given type owned by g, in the NotPresent
+// state; they consume no memory until first touched. compressibility is the
+// content's compression ratio when offloaded to zswap.
+func (m *Manager) NewPages(g *Group, t PageType, n int, compressibility float64) []*Page {
+	if g.mgr != m {
+		panic("mm: group belongs to a different manager")
+	}
+	if compressibility < 1 {
+		compressibility = 1
+	}
+	pages := make([]*Page, n)
+	backing := make([]Page, n)
+	for i := range pages {
+		p := &backing[i]
+		p.Type = t
+		p.Compressibility = compressibility
+		p.group = g
+		p.state = NotPresent
+		pages[i] = p
+	}
+	return pages
+}
+
+// TouchResult describes the outcome of one page access.
+type TouchResult struct {
+	// Fault reports whether the access missed DRAM.
+	Fault bool
+	// Latency is the synchronous wait the task served for the fault
+	// itself (device read or decompression).
+	Latency vclock.Duration
+	// MemStall reports whether Latency counts toward memory pressure:
+	// true for swap-ins and refaults, false for first-time file reads.
+	MemStall bool
+	// IOStall reports whether Latency counts toward IO pressure: true
+	// whenever block IO was performed.
+	IOStall bool
+	// DirectReclaimStall is additional memory-stall time spent in
+	// charge-triggered direct reclaim (always a memory stall, per §3.2.3).
+	DirectReclaimStall vclock.Duration
+	// Classification of the fault, when Fault is set.
+	SwapIn, Refault, ColdRead, ZeroFill bool
+}
+
+// TotalStall returns the task's total wait for this access.
+func (r TouchResult) TotalStall() vclock.Duration { return r.Latency + r.DirectReclaimStall }
+
+// TouchWrite simulates a write access: like Touch, but the page is left
+// dirty, so its eventual eviction must write it back to storage. Writing a
+// not-yet-present file page is a buffered write — the cache page is
+// populated without reading old content from storage.
+func (m *Manager) TouchWrite(now vclock.Time, p *Page) TouchResult {
+	if p.Type == File && p.state == NotPresent {
+		res := TouchResult{Fault: true, ZeroFill: true}
+		res.DirectReclaimStall = m.tryCharge(now, p.group)
+		m.makeResident(now, p)
+		p.dirty = true
+		return res
+	}
+	res := m.Touch(now, p)
+	if p.Type == File {
+		p.dirty = true
+	}
+	return res
+}
+
+// Touch simulates one access to page p at time now, handling any fault and
+// LRU bookkeeping, and returns what the accessing task experienced.
+func (m *Manager) Touch(now vclock.Time, p *Page) TouchResult {
+	g := p.group
+	switch p.state {
+	case Resident:
+		m.markAccessed(p)
+		p.lastTouch, p.touched = now, true
+		return TouchResult{}
+
+	case NotPresent:
+		var res TouchResult
+		if p.Type == File {
+			// First read of a file page: block IO, not a memory stall.
+			res.Fault, res.ColdRead, res.IOStall = true, true, true
+			res.Latency = m.cfg.FS.ReadPage(now) + m.cfg.FaultOverhead
+			g.stat.ColdFileReads++
+		} else {
+			// First touch of anon memory: zero-fill, no IO.
+			res.Fault, res.ZeroFill = true, true
+		}
+		res.DirectReclaimStall = m.tryCharge(now, g)
+		m.makeResident(now, p)
+		return res
+
+	case Offloaded:
+		load := m.cfg.Swap.Load(now, backend.Handle(p.handle))
+		if m.swapExhausted {
+			// Space was just released; allow anon scanning again.
+			m.swapExhausted = false
+		}
+		g.stat.SwapIns++
+		g.swappedPages--
+		g.noteCost(now, Anon)
+		m.dropFromCluster(p)
+		res := TouchResult{
+			Fault:    true,
+			SwapIn:   true,
+			Latency:  load.Latency + m.cfg.FaultOverhead,
+			MemStall: true,
+			IOStall:  load.BlockIO,
+		}
+		res.DirectReclaimStall = m.tryCharge(now, g)
+		m.makeResident(now, p)
+		m.readahead(now, p)
+		return res
+
+	case EvictedFile:
+		res := TouchResult{Fault: true, IOStall: true}
+		res.Latency = m.cfg.FS.ReadPage(now) + m.cfg.FaultOverhead
+		if p.hasShadow {
+			distance := g.evictions - p.shadow
+			p.hasShadow = false
+			// The kernel classifies the fault as a working-set refault
+			// when the reuse distance fits within the memory the group
+			// has resident.
+			if distance <= uint64(g.residentPages[Anon]+g.residentPages[File])+1 {
+				res.Refault, res.MemStall = true, true
+				g.stat.Refaults++
+				g.noteCost(now, File)
+			} else {
+				res.ColdRead = true
+				g.stat.ColdFileReads++
+			}
+		} else {
+			res.ColdRead = true
+			g.stat.ColdFileReads++
+		}
+		res.DirectReclaimStall = m.tryCharge(now, g)
+		m.makeResident(now, p)
+		return res
+	}
+	panic(fmt.Sprintf("mm: touch of page in invalid state %v", p.state))
+}
+
+// markAccessed implements mark_page_accessed: the first touch sets the
+// referenced bit; a second touch promotes an inactive page to the active
+// list.
+func (m *Manager) markAccessed(p *Page) {
+	if !p.referenced {
+		p.referenced = true
+		if p.list != nil {
+			p.list.refs++
+		}
+		return
+	}
+	if !p.active {
+		g := p.group
+		g.lists[p.Type][0].remove(p)
+		p.active = true
+		p.referenced = false
+		g.lists[p.Type][1].pushHead(p)
+	}
+}
+
+// makeResident charges and inserts a faulted page at the inactive head.
+func (m *Manager) makeResident(now vclock.Time, p *Page) {
+	g := p.group
+	p.state = Resident
+	p.active = false
+	p.referenced = true
+	p.lastTouch, p.touched = now, true
+	g.lists[p.Type][0].pushHead(p)
+	g.residentPages[p.Type]++
+	g.charge(m.cfg.PageSize)
+}
+
+// tryCharge makes room for one page if some limit in g's ancestry would be
+// exceeded, returning the direct-reclaim stall served by the faulting task.
+// If reclaim cannot make room the charge proceeds anyway and an OOM event is
+// recorded; the simulated workloads throttle themselves before this point,
+// as the paper's Web tier does.
+func (m *Manager) tryCharge(now vclock.Time, g *Group) vclock.Duration {
+	worst := g.overLimitAncestor(m.cfg.PageSize)
+	if worst == nil {
+		return 0
+	}
+	need := worst.usageForLimit() + m.cfg.PageSize - worst.effectiveLimit()
+	g.stat.DirectReclaims++
+	res := m.reclaim(now, worst, need, true)
+	if res.ReclaimedBytes < need {
+		m.oomEvents++
+		g.stat.OOMEvents++
+	}
+	return res.StallTime
+}
+
+// effectiveLimit returns the limit enforced for the group: memory.max, or
+// host capacity for the root.
+func (g *Group) effectiveLimit() int64 {
+	if g == g.mgr.root {
+		return g.mgr.cfg.CapacityBytes
+	}
+	return g.limitBytes
+}
+
+// FreePages releases pages back to the NotPresent state, discarding content:
+// resident pages uncharge immediately, offloaded pages free their backend
+// slot, evicted file pages drop their shadow. Workload restarts (the
+// "code push" events in Figs. 11 and 13) are modeled with this.
+func (m *Manager) FreePages(pages []*Page) {
+	for _, p := range pages {
+		switch p.state {
+		case Resident:
+			g := p.group
+			var lst *lruList
+			if p.active {
+				lst = &g.lists[p.Type][1]
+			} else {
+				lst = &g.lists[p.Type][0]
+			}
+			lst.remove(p)
+			g.residentPages[p.Type]--
+			g.charge(-m.cfg.PageSize)
+		case Offloaded:
+			m.cfg.Swap.Free(backend.Handle(p.handle))
+			p.group.swappedPages--
+			m.dropFromCluster(p)
+		}
+		p.state = NotPresent
+		p.active, p.referenced, p.hasShadow = false, false, false
+		p.dirty = false
+		p.touched = false
+	}
+}
+
+// Coldness histograms a page population by time since last access, the
+// measurement behind Fig. 2. windows must be ascending; the result has
+// len(windows)+1 entries: the fraction of allocated memory touched within
+// each window, and finally the fraction untouched beyond the last window.
+// Allocated memory means pages that exist somewhere (resident or offloaded);
+// NotPresent pages are not counted.
+func Coldness(now vclock.Time, pages []*Page, windows []vclock.Duration) []float64 {
+	counts := make([]int64, len(windows)+1)
+	var total int64
+	for _, p := range pages {
+		if p.state == NotPresent || p.state == EvictedFile {
+			continue
+		}
+		total++
+		if !p.touched {
+			counts[len(windows)]++
+			continue
+		}
+		age := now.Sub(p.lastTouch)
+		placed := false
+		for i, w := range windows {
+			if age <= w {
+				counts[i]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			counts[len(windows)]++
+		}
+	}
+	out := make([]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}

@@ -1,0 +1,867 @@
+package mm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tmo/internal/backend"
+	"tmo/internal/vclock"
+)
+
+const pageSize = 4096
+
+func newTestFS(seed uint64) *backend.Filesystem {
+	spec, _ := backend.DeviceByModel("C")
+	return backend.NewFilesystem(backend.NewSSDDevice(spec, seed))
+}
+
+func newTestManager(capacityPages int64, swap backend.SwapBackend, policy ReclaimPolicy) *Manager {
+	return NewManager(Config{
+		CapacityBytes: capacityPages * pageSize,
+		PageSize:      pageSize,
+		Swap:          swap,
+		FS:            newTestFS(99),
+		Policy:        policy,
+	})
+}
+
+func newZswap() *backend.Zswap {
+	return backend.NewZswap(backend.CodecZstd, backend.AllocZsmalloc, 0, 7)
+}
+
+func newSSDSwap() *backend.SSDSwap {
+	spec, _ := backend.DeviceByModel("C")
+	return backend.NewSSDSwap(backend.NewSSDDevice(spec, 42), 0)
+}
+
+// touchAll touches every page once at the given time.
+func touchAll(m *Manager, now vclock.Time, pages []*Page) {
+	for _, p := range pages {
+		m.Touch(now, p)
+	}
+}
+
+func TestAnonFirstTouchZeroFills(t *testing.T) {
+	m := newTestManager(1024, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, Anon, 10, 1)
+	res := m.Touch(0, pages[0])
+	if !res.Fault || !res.ZeroFill || res.MemStall || res.IOStall {
+		t.Fatalf("anon first touch = %+v", res)
+	}
+	if res.Latency != 0 {
+		t.Fatalf("zero-fill should not wait on IO: %v", res.Latency)
+	}
+	if pages[0].State() != Resident {
+		t.Fatalf("state = %v", pages[0].State())
+	}
+	if g.ResidentBytes() != pageSize {
+		t.Fatalf("resident = %d", g.ResidentBytes())
+	}
+	if g.HierResidentBytes() != pageSize || m.Root().HierResidentBytes() != pageSize {
+		t.Fatalf("hierarchical charge wrong")
+	}
+}
+
+func TestFileFirstTouchIsColdRead(t *testing.T) {
+	m := newTestManager(1024, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, File, 1, 1)
+	res := m.Touch(0, pages[0])
+	if !res.Fault || !res.ColdRead || !res.IOStall || res.MemStall {
+		t.Fatalf("file first touch = %+v", res)
+	}
+	if res.Latency <= 0 {
+		t.Fatalf("file read must cost IO time")
+	}
+	if g.Stat().ColdFileReads != 1 {
+		t.Fatalf("cold read not counted")
+	}
+}
+
+func TestResidentTouchIsFree(t *testing.T) {
+	m := newTestManager(1024, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	p := m.NewPages(g, Anon, 1, 1)[0]
+	m.Touch(0, p)
+	res := m.Touch(vclock.Time(vclock.Second), p)
+	if res.Fault || res.TotalStall() != 0 {
+		t.Fatalf("resident touch = %+v", res)
+	}
+}
+
+func TestTwoTouchActivation(t *testing.T) {
+	m := newTestManager(1024, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	p := m.NewPages(g, Anon, 1, 1)[0]
+	m.Touch(0, p) // faults in: inactive, referenced
+	if p.Active() {
+		t.Fatalf("fresh page should start inactive")
+	}
+	m.Touch(1, p) // second access: promote
+	if !p.Active() {
+		t.Fatalf("twice-touched page should be active")
+	}
+}
+
+func TestReclaimEvictsLRUOrder(t *testing.T) {
+	m := newTestManager(1024, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, File, 4, 1)
+	for i, p := range pages {
+		m.Touch(vclock.Time(i)*vclock.Time(vclock.Second), p)
+	}
+	// All pages still have their initial referenced bit, so the first scan
+	// pass gives them a second chance; touch none again, reclaim twice.
+	res := m.ProactiveReclaim(vclock.Time(10*vclock.Second), g, 2*pageSize)
+	if res.ReclaimedBytes != 2*pageSize {
+		t.Fatalf("reclaimed %d bytes, want 2 pages", res.ReclaimedBytes)
+	}
+	// The oldest-touched pages (0 and 1) must be the ones evicted.
+	if pages[0].State() != EvictedFile || pages[1].State() != EvictedFile {
+		t.Fatalf("LRU order violated: %v %v", pages[0].State(), pages[1].State())
+	}
+	if pages[2].State() != Resident || pages[3].State() != Resident {
+		t.Fatalf("young pages evicted")
+	}
+}
+
+func TestSecondChanceProtectsReferencedPages(t *testing.T) {
+	m := newTestManager(1024, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, File, 8, 1)
+	touchAll(m, 0, pages)
+	// A first reclaim pass consumes the initial referenced bits and evicts
+	// the two coldest pages.
+	m.ProactiveReclaim(vclock.Time(vclock.Second), g, 2*pageSize)
+	if pages[0].State() != EvictedFile || pages[1].State() != EvictedFile {
+		t.Fatalf("first pass evicted wrong pages")
+	}
+	// Re-reference one surviving page; it must outlive the next reclaim
+	// pass while two of its untouched peers are evicted instead.
+	protected := pages[2]
+	m.Touch(vclock.Time(2*vclock.Second), protected)
+	res := m.ProactiveReclaim(vclock.Time(3*vclock.Second), g, 2*pageSize)
+	if res.ReclaimedBytes != 2*pageSize {
+		t.Fatalf("second pass reclaimed %d", res.ReclaimedBytes)
+	}
+	if protected.State() != Resident {
+		t.Fatalf("re-referenced page was evicted despite second chance")
+	}
+	evicted := 0
+	for _, p := range pages[3:] {
+		if p.State() == EvictedFile {
+			evicted++
+		}
+	}
+	if evicted != 2 {
+		t.Fatalf("%d unreferenced peers evicted, want 2", evicted)
+	}
+}
+
+func TestRefaultDetection(t *testing.T) {
+	m := newTestManager(1024, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, File, 10, 1)
+	touchAll(m, 0, pages)
+	// Evict two pages (they are coldest).
+	m.ProactiveReclaim(vclock.Time(vclock.Second), g, 2*pageSize)
+	evicted := pages[0]
+	if evicted.State() != EvictedFile {
+		t.Fatalf("page 0 not evicted")
+	}
+	// Immediate re-touch: reuse distance 2 <= resident 8 -> refault.
+	res := m.Touch(vclock.Time(2*vclock.Second), evicted)
+	if !res.Refault || !res.MemStall || !res.IOStall {
+		t.Fatalf("quick reuse not a refault: %+v", res)
+	}
+	if g.Stat().Refaults != 1 {
+		t.Fatalf("refault counter = %d", g.Stat().Refaults)
+	}
+	_, fileCost := g.Costs(vclock.Time(2 * vclock.Second))
+	if fileCost < 1 {
+		t.Fatalf("refault did not charge file cost: %v", fileCost)
+	}
+}
+
+func TestDistantReuseIsNotRefault(t *testing.T) {
+	m := newTestManager(4096, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, File, 64, 1)
+	touchAll(m, 0, pages)
+	// Evict everything; then only re-touch one early page much later.
+	// With everything evicted, the resident set is 0, so any distance is
+	// "too far" and the reuse is classified cold.
+	m.ProactiveReclaim(vclock.Time(vclock.Second), g, 64*pageSize)
+	if g.ResidentBytes() != 0 {
+		t.Fatalf("resident after full eviction = %d", g.ResidentBytes())
+	}
+	res := m.Touch(vclock.Time(10*vclock.Second), pages[0])
+	if res.Refault {
+		t.Fatalf("distant reuse misclassified as refault")
+	}
+	if !res.ColdRead {
+		t.Fatalf("expected cold read: %+v", res)
+	}
+}
+
+func TestSwapOutAndSwapInZswap(t *testing.T) {
+	z := newZswap()
+	m := newTestManager(1024, z, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	// Anonymous-only group: reclaim must use swap despite TMO's
+	// file-first rule, because there is no file cache at all.
+	pages := m.NewPages(g, Anon, 10, 3.0)
+	touchAll(m, 0, pages)
+	res := m.ProactiveReclaim(vclock.Time(vclock.Second), g, 2*pageSize)
+	if res.ReclaimedAnon != 2 {
+		t.Fatalf("reclaimed anon = %d, want 2", res.ReclaimedAnon)
+	}
+	if res.StallTime <= 0 {
+		t.Fatalf("zswap stores must cost compression time")
+	}
+	if z.Stats().StoredPages != 2 {
+		t.Fatalf("zswap holds %d pages", z.Stats().StoredPages)
+	}
+	if m.HostStat().PoolBytes <= 0 {
+		t.Fatalf("pool bytes not accounted")
+	}
+	// Swap the coldest page back in.
+	sw := pages[0]
+	if sw.State() != Offloaded {
+		t.Fatalf("page 0 state = %v", sw.State())
+	}
+	tr := m.Touch(vclock.Time(2*vclock.Second), sw)
+	if !tr.SwapIn || !tr.MemStall {
+		t.Fatalf("swap-in = %+v", tr)
+	}
+	if tr.IOStall {
+		t.Fatalf("zswap load must not be block IO")
+	}
+	if g.Stat().SwapIns != 1 {
+		t.Fatalf("swap-in counter = %d", g.Stat().SwapIns)
+	}
+	anonCost, _ := g.Costs(vclock.Time(2 * vclock.Second))
+	if anonCost < 1 {
+		t.Fatalf("swap-in did not charge anon cost")
+	}
+}
+
+func TestSwapInFromSSDIsBlockIO(t *testing.T) {
+	m := newTestManager(1024, newSSDSwap(), PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, Anon, 4, 1)
+	touchAll(m, 0, pages)
+	m.ProactiveReclaim(vclock.Time(vclock.Second), g, pageSize)
+	tr := m.Touch(vclock.Time(2*vclock.Second), pages[0])
+	if !tr.SwapIn || !tr.MemStall || !tr.IOStall {
+		t.Fatalf("SSD swap-in = %+v", tr)
+	}
+	if tr.Latency <= 0 {
+		t.Fatalf("SSD swap-in must cost IO time")
+	}
+}
+
+func TestTMOFileFirstUntilRefaults(t *testing.T) {
+	m := newTestManager(4096, newZswap(), PolicyTMO)
+	g := m.NewGroup("app", nil)
+	anon := m.NewPages(g, Anon, 50, 3)
+	file := m.NewPages(g, File, 50, 1)
+	touchAll(m, 0, anon)
+	touchAll(m, 0, file)
+	// With no refaults yet, reclaim must take file pages only.
+	res := m.ProactiveReclaim(vclock.Time(vclock.Second), g, 20*pageSize)
+	if res.ReclaimedAnon != 0 {
+		t.Fatalf("anon reclaimed before any refault: %d", res.ReclaimedAnon)
+	}
+	if res.ReclaimedFile == 0 {
+		t.Fatalf("no file pages reclaimed")
+	}
+	// Now refault some of the evicted file pages to signal that the file
+	// working set is being hurt.
+	refaulted := 0
+	for _, p := range file {
+		if p.State() == EvictedFile {
+			m.Touch(vclock.Time(2*vclock.Second), p)
+			refaulted++
+			if refaulted == 10 {
+				break
+			}
+		}
+	}
+	if g.Stat().Refaults == 0 {
+		t.Fatalf("no refaults registered")
+	}
+	// Subsequent reclaim must now include anonymous memory.
+	res2 := m.ProactiveReclaim(vclock.Time(3*vclock.Second), g, 20*pageSize)
+	if res2.ReclaimedAnon == 0 {
+		t.Fatalf("refaults did not unlock anon reclaim: %+v", res2)
+	}
+}
+
+func TestLegacyPolicySkewsToFile(t *testing.T) {
+	m := newTestManager(4096, newZswap(), PolicyLegacy)
+	g := m.NewGroup("app", nil)
+	anon := m.NewPages(g, Anon, 100, 3)
+	file := m.NewPages(g, File, 100, 1)
+	touchAll(m, 0, anon)
+	touchAll(m, 0, file)
+	// Reclaim most of memory; legacy policy should hollow out the file
+	// cache before touching anon.
+	res := m.ProactiveReclaim(vclock.Time(vclock.Second), g, 100*pageSize)
+	if res.ReclaimedFile < 80 {
+		t.Fatalf("legacy reclaimed only %d file pages", res.ReclaimedFile)
+	}
+	fileLeft := g.ResidentBytesOf(File) / pageSize
+	anonLeft := g.ResidentBytesOf(Anon) / pageSize
+	if fileLeft > 25 {
+		t.Fatalf("file cache not hollowed out: %d pages left", fileLeft)
+	}
+	if anonLeft < 70 {
+		t.Fatalf("legacy swapped too much anon: %d pages left", anonLeft)
+	}
+}
+
+func TestMemoryMaxTriggersDirectReclaim(t *testing.T) {
+	m := newTestManager(4096, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	file := m.NewPages(g, File, 20, 1)
+	touchAll(m, 0, file)
+	m.SetLimit(vclock.Time(vclock.Second), g, 20*pageSize)
+	// Allocating one more page forces direct reclaim within the group.
+	extra := m.NewPages(g, Anon, 1, 1)
+	res := m.Touch(vclock.Time(2*vclock.Second), extra[0])
+	if res.DirectReclaimStall <= 0 {
+		t.Fatalf("no direct reclaim stall: %+v", res)
+	}
+	if g.HierResidentBytes() > 20*pageSize {
+		t.Fatalf("limit not enforced: %d", g.HierResidentBytes())
+	}
+	if g.Stat().DirectReclaims == 0 {
+		t.Fatalf("direct reclaim not counted")
+	}
+}
+
+func TestSetLimitReclaimsSynchronously(t *testing.T) {
+	m := newTestManager(4096, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	file := m.NewPages(g, File, 40, 1)
+	touchAll(m, 0, file)
+	res := m.SetLimit(vclock.Time(vclock.Second), g, 30*pageSize)
+	if res.ReclaimedBytes < 10*pageSize {
+		t.Fatalf("SetLimit reclaimed %d", res.ReclaimedBytes)
+	}
+	if g.HierResidentBytes() > 30*pageSize {
+		t.Fatalf("usage above new limit")
+	}
+}
+
+func TestHierarchicalLimitReclaimsChildren(t *testing.T) {
+	m := newTestManager(4096, nil, PolicyTMO)
+	parent := m.NewGroup("workload", nil)
+	c1 := m.NewGroup("app", parent)
+	c2 := m.NewGroup("sidecar", parent)
+	p1 := m.NewPages(c1, File, 30, 1)
+	p2 := m.NewPages(c2, File, 30, 1)
+	touchAll(m, 0, p1)
+	touchAll(m, 0, p2)
+	if parent.HierResidentBytes() != 60*pageSize {
+		t.Fatalf("parent usage = %d", parent.HierResidentBytes())
+	}
+	m.SetLimit(vclock.Time(vclock.Second), parent, 40*pageSize)
+	if parent.HierResidentBytes() > 40*pageSize {
+		t.Fatalf("parent limit not enforced: %d", parent.HierResidentBytes())
+	}
+	// Both children must have contributed (proportional shrink).
+	if c1.ResidentBytes() == 30*pageSize || c2.ResidentBytes() == 30*pageSize {
+		t.Fatalf("reclaim not distributed: c1=%d c2=%d", c1.ResidentBytes(), c2.ResidentBytes())
+	}
+}
+
+func TestMemoryLowProtection(t *testing.T) {
+	m := newTestManager(4096, nil, PolicyTMO)
+	parent := m.NewGroup("workload", nil)
+	protected := m.NewGroup("frontend", parent)
+	victim := m.NewGroup("batch", parent)
+	pp := m.NewPages(protected, File, 40, 1)
+	vp := m.NewPages(victim, File, 40, 1)
+	touchAll(m, 0, pp)
+	touchAll(m, 0, vp)
+	protected.SetLow(40 * pageSize)
+
+	// Ancestor-driven reclaim of 30 pages must come entirely from the
+	// unprotected sibling.
+	res := m.ProactiveReclaim(vclock.Time(vclock.Second), parent, 30*pageSize)
+	if res.ReclaimedBytes < 30*pageSize {
+		t.Fatalf("reclaimed only %d", res.ReclaimedBytes)
+	}
+	if protected.ResidentBytes() != 40*pageSize {
+		t.Fatalf("protected group shrank to %d", protected.ResidentBytes())
+	}
+	if victim.ResidentBytes() > 10*pageSize {
+		t.Fatalf("victim not shrunk: %d", victim.ResidentBytes())
+	}
+}
+
+func TestMemoryLowIsBestEffort(t *testing.T) {
+	// When everything is protected, sustained pressure must still make
+	// progress: protection degrades rather than deadlocking reclaim.
+	m := newTestManager(4096, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, File, 40, 1)
+	touchAll(m, 0, pages)
+	g.SetLow(1 << 40) // protect everything
+	res := m.ProactiveReclaim(vclock.Time(vclock.Second), m.Root(), 10*pageSize)
+	if res.ReclaimedBytes < 10*pageSize {
+		t.Fatalf("fully-protected host deadlocked reclaim: %d", res.ReclaimedBytes)
+	}
+}
+
+func TestMemoryLowDoesNotShieldFromSelf(t *testing.T) {
+	// memory.low protects against external pressure; reclaim targeted at
+	// the group itself (Senpai's memory.reclaim) ignores its own low.
+	m := newTestManager(4096, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, File, 40, 1)
+	touchAll(m, 0, pages)
+	g.SetLow(1 << 40)
+	res := m.ProactiveReclaim(vclock.Time(vclock.Second), g, 10*pageSize)
+	if res.ReclaimedBytes < 10*pageSize {
+		t.Fatalf("own-group reclaim blocked by own protection: %d", res.ReclaimedBytes)
+	}
+}
+
+func TestOraclePolicyEvictsColdestExactly(t *testing.T) {
+	z := newZswap()
+	m := NewManager(Config{
+		CapacityBytes: 1024 * pageSize,
+		PageSize:      pageSize,
+		Swap:          z,
+		FS:            newTestFS(81),
+		Policy:        PolicyOracle,
+	})
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, Anon, 10, 2)
+	// Touch pages at distinct, increasing times; additionally re-touch
+	// page 0 late so recency (not creation order) decides.
+	for i, p := range pages {
+		m.Touch(vclock.Time(i)*vclock.Time(vclock.Second), p)
+	}
+	m.Touch(vclock.Time(20*vclock.Second), pages[0])
+	// Reclaim three pages: the oracle must take pages 1, 2, 3 — the three
+	// oldest last-touches — regardless of LRU list structure.
+	res := m.ProactiveReclaim(vclock.Time(21*vclock.Second), g, 3*pageSize)
+	if res.ReclaimedBytes != 3*pageSize {
+		t.Fatalf("reclaimed %d", res.ReclaimedBytes)
+	}
+	for i, p := range pages {
+		wantOffloaded := i >= 1 && i <= 3
+		if (p.State() == Offloaded) != wantOffloaded {
+			t.Fatalf("page %d state %v; oracle order violated", i, p.State())
+		}
+	}
+}
+
+func TestOracleRespectsSwapAvailability(t *testing.T) {
+	m := newTestManager(1024, nil, PolicyOracle) // no swap
+	g := m.NewGroup("app", nil)
+	anon := m.NewPages(g, Anon, 5, 1)
+	file := m.NewPages(g, File, 5, 1)
+	touchAll(m, 0, anon) // anon is coldest...
+	for i, p := range file {
+		m.Touch(vclock.Time(i+1)*vclock.Time(vclock.Second), p)
+	}
+	res := m.ProactiveReclaim(vclock.Time(10*vclock.Second), g, 3*pageSize)
+	// ...but with no swap the oracle must take file pages instead.
+	if res.ReclaimedAnon != 0 || res.ReclaimedFile != 3 {
+		t.Fatalf("oracle without swap: %+v", res)
+	}
+}
+
+func TestDirtyFileWriteback(t *testing.T) {
+	m := newTestManager(1024, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	dev := m.cfg.FS.Device()
+	pages := m.NewPages(g, File, 8, 1)
+
+	// A buffered write to a fresh page populates it without any read IO.
+	res := m.TouchWrite(0, pages[0])
+	if !res.ZeroFill || res.IOStall || res.Latency != 0 {
+		t.Fatalf("buffered write of fresh page = %+v", res)
+	}
+	if !pages[0].Dirty() {
+		t.Fatalf("written page not dirty")
+	}
+	// Reading then writing an existing page also dirties it.
+	m.Touch(0, pages[1])
+	m.TouchWrite(vclock.Time(vclock.Millisecond), pages[1])
+	if !pages[1].Dirty() {
+		t.Fatalf("rewritten page not dirty")
+	}
+	for _, p := range pages[2:] {
+		m.Touch(0, p)
+	}
+
+	writesBefore := dev.Writes()
+	// Evict everything: the two dirty pages must be written back.
+	m.ProactiveReclaim(vclock.Time(vclock.Second), g, 8*pageSize)
+	if got := dev.Writes() - writesBefore; got != 2 {
+		t.Fatalf("device writes during eviction = %d, want 2", got)
+	}
+	if g.Stat().FileWritebacks != 2 {
+		t.Fatalf("writeback counter = %d", g.Stat().FileWritebacks)
+	}
+	// Written-back pages are clean: re-evicting after a read costs
+	// nothing.
+	m.Touch(vclock.Time(2*vclock.Second), pages[0])
+	if pages[0].Dirty() {
+		t.Fatalf("page dirty after writeback and clean reload")
+	}
+}
+
+func TestTouchWriteOnAnonIsPlainTouch(t *testing.T) {
+	m := newTestManager(64, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	p := m.NewPages(g, Anon, 1, 1)[0]
+	res := m.TouchWrite(0, p)
+	if !res.ZeroFill {
+		t.Fatalf("anon write = %+v", res)
+	}
+	if p.Dirty() {
+		t.Fatalf("anon pages have no dirty/writeback state")
+	}
+}
+
+func TestSwapReadahead(t *testing.T) {
+	z := newZswap()
+	m := NewManager(Config{
+		CapacityBytes: 1024 * pageSize,
+		PageSize:      pageSize,
+		Swap:          z,
+		FS:            newTestFS(77),
+		Policy:        PolicyTMO,
+		SwapReadahead: 4,
+	})
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, Anon, 32, 2)
+	touchAll(m, 0, pages)
+	// Offload a batch; consecutive swap-outs share clusters.
+	m.ProactiveReclaim(vclock.Time(vclock.Second), g, 16*pageSize)
+	var offloaded []*Page
+	for _, p := range pages {
+		if p.State() == Offloaded {
+			offloaded = append(offloaded, p)
+		}
+	}
+	if len(offloaded) != 16 {
+		t.Fatalf("offloaded %d pages", len(offloaded))
+	}
+	// One fault brings in its cluster neighbours too.
+	m.Touch(vclock.Time(2*vclock.Second), offloaded[0])
+	if m.ReadaheadIn() != 4 {
+		t.Fatalf("readahead brought %d pages, want 4", m.ReadaheadIn())
+	}
+	resident := 0
+	for _, p := range offloaded {
+		if p.State() == Resident {
+			resident++
+		}
+	}
+	if resident != 5 { // the faulted page + 4 readahead neighbours
+		t.Fatalf("%d pages resident after one fault, want 5", resident)
+	}
+	// Readahead pages arrive unreferenced: the next reclaim pass may take
+	// them straight back.
+	for _, p := range offloaded {
+		if p.State() == Resident && p != offloaded[0] {
+			if p.Referenced() {
+				t.Fatalf("readahead page arrived referenced")
+			}
+		}
+	}
+	// Swap-in counter counts faults, not readahead.
+	if got := g.Stat().SwapIns; got != 1 {
+		t.Fatalf("swap-ins = %d, want 1 (readahead is not a fault)", got)
+	}
+	// Zswap must have released all five entries.
+	if z.Stats().StoredPages != 11 {
+		t.Fatalf("backend holds %d pages, want 11", z.Stats().StoredPages)
+	}
+}
+
+func TestReadaheadDisabledByDefault(t *testing.T) {
+	z := newZswap()
+	m := newTestManager(1024, z, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, Anon, 16, 2)
+	touchAll(m, 0, pages)
+	m.ProactiveReclaim(vclock.Time(vclock.Second), g, 8*pageSize)
+	for _, p := range pages {
+		if p.State() == Offloaded {
+			m.Touch(vclock.Time(2*vclock.Second), p)
+			break
+		}
+	}
+	if m.ReadaheadIn() != 0 {
+		t.Fatalf("readahead ran while disabled")
+	}
+}
+
+func TestSetLowClampsNegative(t *testing.T) {
+	m := newTestManager(64, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	g.SetLow(-5)
+	if g.Low() != 0 {
+		t.Fatalf("negative low accepted: %d", g.Low())
+	}
+}
+
+func TestHostCapacityEnforced(t *testing.T) {
+	m := newTestManager(64, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	file := m.NewPages(g, File, 60, 1)
+	touchAll(m, 0, file)
+	anon := m.NewPages(g, Anon, 20, 1)
+	for i, p := range anon {
+		m.Touch(vclock.Time(i)*vclock.Time(vclock.Millisecond), p)
+	}
+	st := m.HostStat()
+	if st.ResidentBytes > st.CapacityBytes {
+		t.Fatalf("resident %d exceeds capacity %d", st.ResidentBytes, st.CapacityBytes)
+	}
+	// File cache must have been evicted to make room (no swap configured).
+	if g.ResidentBytesOf(File) >= 60*pageSize {
+		t.Fatalf("file cache not shrunk under host pressure")
+	}
+}
+
+func TestOOMEventWhenNothingReclaimable(t *testing.T) {
+	m := newTestManager(4, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	anon := m.NewPages(g, Anon, 8, 1)
+	for i, p := range anon {
+		m.Touch(vclock.Time(i), p)
+	}
+	// No swap and no file cache: nothing is reclaimable, so the host is
+	// overcommitted and OOM events must be recorded.
+	if m.OOMEvents() == 0 {
+		t.Fatalf("no OOM events recorded")
+	}
+}
+
+func TestSwapExhaustionLatchesAndClears(t *testing.T) {
+	spec, _ := backend.DeviceByModel("C")
+	sw := backend.NewSSDSwap(backend.NewSSDDevice(spec, 5), 2*pageSize)
+	m := newTestManager(1024, sw, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	anon := m.NewPages(g, Anon, 10, 1)
+	touchAll(m, 0, anon)
+	res := m.ProactiveReclaim(vclock.Time(vclock.Second), g, 5*pageSize)
+	if !res.SwapFull {
+		t.Fatalf("swap exhaustion not reported: %+v", res)
+	}
+	if res.ReclaimedAnon != 2 {
+		t.Fatalf("reclaimed %d anon pages, want 2 (swap capacity)", res.ReclaimedAnon)
+	}
+	if !m.SwapExhausted() {
+		t.Fatalf("exhaustion not latched")
+	}
+	// Swapping a page back in frees space and clears the latch.
+	for _, p := range anon {
+		if p.State() == Offloaded {
+			m.Touch(vclock.Time(2*vclock.Second), p)
+			break
+		}
+	}
+	if m.SwapExhausted() {
+		t.Fatalf("exhaustion not cleared by swap-in")
+	}
+}
+
+func TestFreePagesResetsState(t *testing.T) {
+	z := newZswap()
+	m := newTestManager(1024, z, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	anon := m.NewPages(g, Anon, 10, 2)
+	touchAll(m, 0, anon)
+	m.ProactiveReclaim(vclock.Time(vclock.Second), g, 3*pageSize)
+	m.FreePages(anon)
+	if g.ResidentBytes() != 0 || g.HierResidentBytes() != 0 {
+		t.Fatalf("usage after free: %d/%d", g.ResidentBytes(), g.HierResidentBytes())
+	}
+	if z.Stats().StoredPages != 0 {
+		t.Fatalf("zswap still holds %d pages after free", z.Stats().StoredPages)
+	}
+	for _, p := range anon {
+		if p.State() != NotPresent {
+			t.Fatalf("page state after free = %v", p.State())
+		}
+	}
+	// Pages are reusable after a free (workload restart).
+	res := m.Touch(vclock.Time(2*vclock.Second), anon[0])
+	if !res.ZeroFill {
+		t.Fatalf("reused page did not zero-fill: %+v", res)
+	}
+}
+
+func TestColdnessHistogram(t *testing.T) {
+	m := newTestManager(1024, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, Anon, 100, 1)
+	const minute = vclock.Minute
+	now := vclock.Time(10 * minute)
+	// 50 pages hot (just touched), 20 touched 1.5 min ago, 30 touched 10
+	// minutes ago.
+	for _, p := range pages[:50] {
+		m.Touch(now, p)
+	}
+	for _, p := range pages[50:70] {
+		m.Touch(now.Add(-90*vclock.Second), p)
+	}
+	for _, p := range pages[70:] {
+		m.Touch(now.Add(-10*minute), p)
+	}
+	h := Coldness(now, pages, []vclock.Duration{1 * minute, 2 * minute, 5 * minute})
+	if h[0] != 0.5 || h[1] != 0.2 || h[2] != 0 || h[3] != 0.3 {
+		t.Fatalf("coldness histogram = %v", h)
+	}
+}
+
+func TestColdnessEmptyPopulation(t *testing.T) {
+	h := Coldness(0, nil, []vclock.Duration{vclock.Minute})
+	if h[0] != 0 || h[1] != 0 {
+		t.Fatalf("empty coldness = %v", h)
+	}
+}
+
+func TestPolicyAndStateStrings(t *testing.T) {
+	if PolicyTMO.String() != "tmo" || PolicyLegacy.String() != "legacy" {
+		t.Fatalf("policy names")
+	}
+	if Anon.String() != "anon" || File.String() != "file" {
+		t.Fatalf("page type names")
+	}
+	states := []PageState{NotPresent, Resident, Offloaded, EvictedFile}
+	want := []string{"not-present", "resident", "offloaded", "evicted-file"}
+	for i, s := range states {
+		if s.String() != want[i] {
+			t.Fatalf("state %d name %q", i, s.String())
+		}
+	}
+}
+
+// checkAccounting verifies the structural invariants that must hold after
+// any sequence of operations.
+func checkAccounting(t *testing.T, m *Manager, groups []*Group, pages []*Page) {
+	t.Helper()
+	perGroup := map[*Group][2]int64{}
+	for _, p := range pages {
+		if p.State() == Resident {
+			c := perGroup[p.Group()]
+			c[p.Type]++
+			perGroup[p.Group()] = c
+		}
+	}
+	var totalResident int64
+	for _, g := range groups {
+		c := perGroup[g]
+		if g.residentPages[Anon] != c[Anon] || g.residentPages[File] != c[File] {
+			t.Fatalf("group %s resident counters (%d,%d) != page states (%d,%d)",
+				g.Name(), g.residentPages[Anon], g.residentPages[File], c[Anon], c[File])
+		}
+		if got := int64(g.lists[Anon][0].count + g.lists[Anon][1].count); got != c[Anon] {
+			t.Fatalf("group %s anon list count %d != %d", g.Name(), got, c[Anon])
+		}
+		if got := int64(g.lists[File][0].count + g.lists[File][1].count); got != c[File] {
+			t.Fatalf("group %s file list count %d != %d", g.Name(), got, c[File])
+		}
+		totalResident += (c[Anon] + c[File]) * pageSize
+	}
+	if m.Root().HierResidentBytes() != totalResident {
+		t.Fatalf("root usage %d != total resident %d", m.Root().HierResidentBytes(), totalResident)
+	}
+}
+
+// TestAccountingInvariants drives random touch/reclaim/free sequences and
+// checks that page states, list counts, and hierarchical charges agree.
+func TestAccountingInvariants(t *testing.T) {
+	type op struct {
+		Kind uint8 // 0-4 touch, 5 write, 6 reclaim, 7 free, 8 set low
+		Idx  uint16
+		Amt  uint8
+	}
+	f := func(ops []op, readahead bool, policy uint8) bool {
+		z := newZswap()
+		m := NewManager(Config{
+			CapacityBytes: 256 * pageSize,
+			PageSize:      pageSize,
+			Swap:          z,
+			FS:            newTestFS(99),
+			Policy:        ReclaimPolicy(policy % 3),
+			SwapReadahead: map[bool]int{false: 0, true: 4}[readahead],
+		})
+		parent := m.NewGroup("w", nil)
+		g1 := m.NewGroup("a", parent)
+		g2 := m.NewGroup("b", parent)
+		var pages []*Page
+		pages = append(pages, m.NewPages(g1, Anon, 40, 2)...)
+		pages = append(pages, m.NewPages(g1, File, 40, 1)...)
+		pages = append(pages, m.NewPages(g2, Anon, 40, 3)...)
+		pages = append(pages, m.NewPages(g2, File, 40, 1)...)
+		groups := []*Group{m.Root(), parent, g1, g2}
+		now := vclock.Time(0)
+		for _, o := range ops {
+			now = now.Add(10 * vclock.Millisecond)
+			switch {
+			case o.Kind < 5:
+				p := pages[int(o.Idx)%len(pages)]
+				m.Touch(now, p)
+			case o.Kind == 5:
+				p := pages[int(o.Idx)%len(pages)]
+				m.TouchWrite(now, p)
+			case o.Kind == 6:
+				g := groups[1+int(o.Idx)%3]
+				m.ProactiveReclaim(now, g, int64(o.Amt)*pageSize)
+			case o.Kind == 7:
+				p := pages[int(o.Idx)%len(pages)]
+				m.FreePages([]*Page{p})
+			default:
+				g := groups[1+int(o.Idx)%3]
+				g.SetLow(int64(o.Amt) * pageSize)
+			}
+		}
+		checkAccounting(t, m, groups, pages)
+		st := m.HostStat()
+		return st.ResidentBytes >= 0 && st.PoolBytes >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReclaimNeverLosesPages: after heavy reclaim, every page is still in a
+// well-defined state and can be touched back to residency.
+func TestReclaimRoundTrip(t *testing.T) {
+	z := newZswap()
+	m := newTestManager(2048, z, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	anon := m.NewPages(g, Anon, 100, 2)
+	file := m.NewPages(g, File, 100, 1)
+	touchAll(m, 0, anon)
+	touchAll(m, 0, file)
+	// Force deep reclaim, then touch everything back in.
+	m.ProactiveReclaim(vclock.Time(vclock.Second), g, 150*pageSize)
+	now := vclock.Time(2 * vclock.Second)
+	for _, p := range append(append([]*Page{}, anon...), file...) {
+		m.Touch(now, p)
+		if p.State() != Resident {
+			t.Fatalf("page not resident after touch: %v", p.State())
+		}
+	}
+	if g.ResidentBytes() != 200*pageSize {
+		t.Fatalf("resident after round trip = %d", g.ResidentBytes())
+	}
+	if z.Stats().StoredPages != 0 {
+		t.Fatalf("zswap still holds pages after round trip")
+	}
+}

@@ -1,0 +1,405 @@
+package mm
+
+import (
+	"errors"
+	"sort"
+
+	"tmo/internal/backend"
+	"tmo/internal/vclock"
+)
+
+// ReclaimResult reports the outcome of one reclaim run.
+type ReclaimResult struct {
+	// ReclaimedBytes is the DRAM actually released. For zswap targets the
+	// compressed pool grows at the same time, so the *net* host saving is
+	// smaller; callers read HostStat for net effects.
+	ReclaimedBytes int64
+	// ReclaimedAnon/ReclaimedFile break the released pages down by type.
+	ReclaimedAnon, ReclaimedFile int64
+	// ScannedPages counts LRU pages examined.
+	ScannedPages int64
+	// StallTime is the synchronous cost of the run: scan CPU plus
+	// compression time for pages stored to zswap. For direct reclaim the
+	// faulting task serves this as a memory stall; for proactive reclaim
+	// it is the controller's own cost.
+	StallTime vclock.Duration
+	// SwapFull reports that the swap backend refused at least one store.
+	SwapFull bool
+}
+
+// add merges r2 into r.
+func (r *ReclaimResult) add(r2 ReclaimResult) {
+	r.ReclaimedBytes += r2.ReclaimedBytes
+	r.ReclaimedAnon += r2.ReclaimedAnon
+	r.ReclaimedFile += r2.ReclaimedFile
+	r.ScannedPages += r2.ScannedPages
+	r.StallTime += r2.StallTime
+	r.SwapFull = r.SwapFull || r2.SwapFull
+}
+
+// scanBatch is how many pages move from the active to the inactive list per
+// refill step, mirroring the kernel's SWAP_CLUSTER_MAX batching.
+const scanBatch = 32
+
+// maxScanFactor bounds scanning per shrink call relative to the reclaim
+// target, so a wall of referenced pages cannot loop reclaim forever.
+const maxScanFactor = 8
+
+// reclaim frees up to want bytes from root's subtree. Groups are shrunk
+// proportionally to their resident size, in up to three passes so that
+// groups that came up short are compensated by the others.
+func (m *Manager) reclaim(now vclock.Time, root *Group, want int64, direct bool) ReclaimResult {
+	var total ReclaimResult
+	remaining := want
+
+	// weightOf returns a group's reclaim weight for this pass. While
+	// memory.low protections are honoured, protected memory is invisible;
+	// the reclaim root's own protection never applies to itself (low
+	// guards against *external* pressure, like the kernel's).
+	weightOf := func(g *Group, honourLow bool) int64 {
+		if honourLow && g != root {
+			return g.protectedReclaimable()
+		}
+		return g.ResidentBytes()
+	}
+
+	// Two phases: honour protections first; if the target was not met
+	// from unprotected memory, memory.low degrades to best-effort and the
+	// remainder comes from everywhere (kernel behaviour under sustained
+	// pressure).
+	for _, honourLow := range []bool{true, false} {
+		for round := 0; round < 3 && remaining > 0; round++ {
+			groups := subtreeGroups(root)
+			var weightSum int64
+			for _, g := range groups {
+				weightSum += weightOf(g, honourLow)
+			}
+			if weightSum == 0 {
+				break
+			}
+			progressed := false
+			for _, g := range groups {
+				w := weightOf(g, honourLow)
+				if w == 0 {
+					continue
+				}
+				share := remaining * w / weightSum
+				if share < m.cfg.PageSize {
+					share = m.cfg.PageSize
+				}
+				if honourLow && g != root && share > w {
+					share = w
+				}
+				if share > remaining {
+					share = remaining
+				}
+				if share <= 0 {
+					continue
+				}
+				r := m.shrinkGroup(now, g, share)
+				total.add(r)
+				remaining -= r.ReclaimedBytes
+				if r.ReclaimedBytes > 0 {
+					progressed = true
+				}
+				if remaining <= 0 {
+					break
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+		if remaining <= 0 {
+			break
+		}
+	}
+	return total
+}
+
+// subtreeGroups returns root and all descendants in depth-first order.
+func subtreeGroups(root *Group) []*Group {
+	out := []*Group{root}
+	for _, c := range root.children {
+		out = append(out, subtreeGroups(c)...)
+	}
+	return out
+}
+
+// shrinkOracle evicts the group's coldest pages by exact last-access time,
+// the PolicyOracle comparator. It sees every page's true age — information a
+// real kernel does not have — and so bounds what any scanning approximation
+// could achieve.
+func (m *Manager) shrinkOracle(now vclock.Time, g *Group, want int64) ReclaimResult {
+	var res ReclaimResult
+	target := (want + m.cfg.PageSize - 1) / m.cfg.PageSize
+
+	// Collect resident pages, coldest first.
+	var pages []*Page
+	for t := PageType(0); t < numPageTypes; t++ {
+		for _, lst := range []*lruList{&g.lists[t][0], &g.lists[t][1]} {
+			for p := lst.head; p != nil; p = p.next {
+				pages = append(pages, p)
+			}
+		}
+	}
+	sortPagesByAge(pages)
+	res.ScannedPages = int64(len(pages))
+	g.stat.PagesScanned += int64(len(pages))
+
+	var reclaimed int64
+	for _, p := range pages {
+		if reclaimed >= target {
+			break
+		}
+		if p.Type == Anon && !m.anonScanAllowed() {
+			continue
+		}
+		var lst *lruList
+		if p.active {
+			lst = &g.lists[p.Type][1]
+		} else {
+			lst = &g.lists[p.Type][0]
+		}
+		if p.Type == Anon {
+			store, err := m.cfg.Swap.Store(now, m.cfg.PageSize, p.Compressibility)
+			if err != nil {
+				m.swapExhausted = true
+				res.SwapFull = true
+				continue
+			}
+			lst.remove(p)
+			p.active = false
+			p.state = Offloaded
+			p.handle = uint64(store.Handle)
+			g.residentPages[Anon]--
+			g.charge(-m.cfg.PageSize)
+			g.swappedPages++
+			g.stat.SwapOuts++
+			m.noteSwapOut(p)
+			res.StallTime += store.Latency
+			res.ReclaimedAnon++
+		} else {
+			lst.remove(p)
+			if p.dirty {
+				m.cfg.FS.WritePage(now)
+				p.dirty = false
+				g.stat.FileWritebacks++
+			}
+			p.active = false
+			p.state = EvictedFile
+			p.shadow = g.evictions
+			p.hasShadow = true
+			g.evictions++
+			g.residentPages[File]--
+			g.charge(-m.cfg.PageSize)
+			g.stat.FileEvictions++
+			res.ReclaimedFile++
+		}
+		reclaimed++
+	}
+	res.ReclaimedBytes = reclaimed * m.cfg.PageSize
+	res.StallTime += vclock.Duration(res.ScannedPages) * m.cfg.ScanCPUPerPage / 8 // a table walk, not a list scan
+	return res
+}
+
+// sortPagesByAge orders pages coldest (oldest last touch) first; pages never
+// touched are coldest of all.
+func sortPagesByAge(pages []*Page) {
+	sort.SliceStable(pages, func(i, j int) bool {
+		pi, pj := pages[i], pages[j]
+		if pi.touched != pj.touched {
+			return !pi.touched
+		}
+		return pi.lastTouch < pj.lastTouch
+	})
+}
+
+// shrinkGroup runs the per-group LRU scan loop, evicting up to want bytes
+// from g's own lists.
+func (m *Manager) shrinkGroup(now vclock.Time, g *Group, want int64) ReclaimResult {
+	if m.cfg.Policy == PolicyOracle {
+		return m.shrinkOracle(now, g, want)
+	}
+	var res ReclaimResult
+	target := (want + m.cfg.PageSize - 1) / m.cfg.PageSize
+	// The scan budget covers the reclaim target plus every second chance
+	// outstanding: clearing referenced bits is bounded work, so reclaim
+	// always makes forward progress even when the whole LRU was recently
+	// referenced (the kernel achieves the same through priority
+	// escalation).
+	refs := int64(0)
+	for t := PageType(0); t < numPageTypes; t++ {
+		refs += int64(g.lists[t][0].refs + g.lists[t][1].refs)
+	}
+	scanLimit := target*maxScanFactor + refs + scanBatch
+	var reclaimed int64
+
+	for reclaimed < target && res.ScannedPages < scanLimit {
+		t, ok := m.pickScanType(now, g)
+		if !ok {
+			break
+		}
+		inactive := &g.lists[t][0]
+		active := &g.lists[t][1]
+
+		// Refill the inactive list from the active tail when it runs
+		// low, clearing referenced bits as the kernel's deactivation
+		// does.
+		if g.inactiveLow(t) {
+			for i := 0; i < scanBatch && active.tail != nil; i++ {
+				p := active.tail
+				active.remove(p)
+				p.active = false
+				p.referenced = false
+				inactive.pushHead(p)
+			}
+		}
+		p := inactive.tail
+		if p == nil {
+			// Nothing inactive and nothing to refill: this type is
+			// empty; try the other or give up via pickScanType's
+			// availability checks next iteration.
+			if active.count == 0 {
+				if other, ok := m.otherAvailable(g, t); ok {
+					t = other
+					continue
+				}
+				break
+			}
+			continue
+		}
+		res.ScannedPages++
+		g.stat.PagesScanned++
+
+		if p.referenced {
+			// Second chance, kernel-style: a referenced anonymous page
+			// is activated; a once-referenced file page is rotated back
+			// to the inactive head (the use-once heuristic) and only
+			// activation through a second access protects it further.
+			inactive.remove(p)
+			p.referenced = false
+			if t == Anon {
+				p.active = true
+				g.lists[t][1].pushHead(p)
+			} else {
+				inactive.pushHead(p)
+			}
+			continue
+		}
+
+		if t == Anon {
+			store, err := m.cfg.Swap.Store(now, m.cfg.PageSize, p.Compressibility)
+			if err != nil {
+				if errors.Is(err, backend.ErrFull) {
+					m.swapExhausted = true
+					res.SwapFull = true
+					inactive.rotate(p)
+					continue
+				}
+				panic("mm: unexpected swap store error: " + err.Error())
+			}
+			inactive.remove(p)
+			p.state = Offloaded
+			p.handle = uint64(store.Handle)
+			g.residentPages[Anon]--
+			g.charge(-m.cfg.PageSize)
+			g.swappedPages++
+			g.stat.SwapOuts++
+			m.noteSwapOut(p)
+			res.StallTime += store.Latency
+			res.ReclaimedAnon++
+		} else {
+			inactive.remove(p)
+			// A dirty page must be written back before it can be
+			// dropped; writeback consumes device endurance and IOPS but
+			// completes asynchronously (flusher threads), so no stall is
+			// charged here.
+			if p.dirty {
+				m.cfg.FS.WritePage(now)
+				p.dirty = false
+				g.stat.FileWritebacks++
+			}
+			p.state = EvictedFile
+			p.shadow = g.evictions
+			p.hasShadow = true
+			g.evictions++
+			g.residentPages[File]--
+			g.charge(-m.cfg.PageSize)
+			g.stat.FileEvictions++
+			res.ReclaimedFile++
+		}
+		reclaimed++
+	}
+	res.ReclaimedBytes = reclaimed * m.cfg.PageSize
+	res.StallTime += vclock.Duration(res.ScannedPages) * m.cfg.ScanCPUPerPage
+	return res
+}
+
+// otherAvailable reports whether the LRU of the type other than t has pages
+// and is allowed to be scanned.
+func (m *Manager) otherAvailable(g *Group, t PageType) (PageType, bool) {
+	other := File
+	if t == File {
+		other = Anon
+	}
+	if other == Anon && !m.anonScanAllowed() {
+		return other, false
+	}
+	return other, g.lists[other][0].count+g.lists[other][1].count > 0
+}
+
+// anonScanAllowed reports whether anonymous reclaim is possible at all.
+func (m *Manager) anonScanAllowed() bool {
+	return m.cfg.Swap != nil && !m.swapExhausted
+}
+
+// legacyFileFloorDiv sets the legacy policy's emergency threshold: swap is
+// considered only once file cache is below 1/8th of the group's resident
+// memory, reproducing the kernel's historical skew toward file reclaim.
+const legacyFileFloorDiv = 8
+
+// pickScanType decides which LRU to scan next, implementing the policy
+// split at the heart of §3.4.
+func (m *Manager) pickScanType(now vclock.Time, g *Group) (PageType, bool) {
+	fileAvail := g.lists[File][0].count+g.lists[File][1].count > 0
+	anonAvail := m.anonScanAllowed() && g.lists[Anon][0].count+g.lists[Anon][1].count > 0
+	if !fileAvail && !anonAvail {
+		return File, false
+	}
+	if !anonAvail {
+		return File, true
+	}
+	if !fileAvail {
+		return Anon, true
+	}
+
+	switch m.cfg.Policy {
+	case PolicyLegacy:
+		// Historical behaviour: reclaim file cache until it is nearly
+		// exhausted; swap is an emergency overflow.
+		total := g.residentPages[Anon] + g.residentPages[File]
+		if g.residentPages[File] > total/legacyFileFloorDiv {
+			return File, true
+		}
+		return Anon, true
+
+	default: // PolicyTMO
+		anonCost, fileCost := g.Costs(now)
+		// No recent refaults: the file working set is not being hurt,
+		// keep reclaiming only file cache.
+		if fileCost < 0.5 {
+			return File, true
+		}
+		// Balance scan pressure by relative paging cost: the more the
+		// file cache refaults, the more anonymous memory is scanned,
+		// and vice versa.
+		weightAnon := fileCost / (anonCost + fileCost)
+		g.scanAcc += weightAnon
+		if g.scanAcc >= 1 {
+			g.scanAcc--
+			return Anon, true
+		}
+		return File, true
+	}
+}

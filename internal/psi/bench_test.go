@@ -1,0 +1,43 @@
+package psi
+
+import (
+	"testing"
+
+	"tmo/internal/vclock"
+)
+
+// PSI sits on every stall event of every task; its event cost bounds the
+// whole simulation's throughput (and, in the real kernel, the scheduling
+// overhead the paper calls "negligible" in §3.2.2).
+
+func BenchmarkStallEventPair(b *testing.B) {
+	tr := NewTracker(0)
+	tr.TaskStart(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := vclock.Time(i) * 10
+		tr.StallStart(now, Memory)
+		tr.StallStop(now+5, Memory)
+	}
+}
+
+func BenchmarkUpdateAverages(b *testing.B) {
+	tr := NewTracker(0)
+	tr.TaskStart(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.UpdateAverages(vclock.Time(i+1) * vclock.Time(2*vclock.Second))
+	}
+}
+
+func BenchmarkPressureFile(b *testing.B) {
+	tr := NewTracker(0)
+	tr.TaskStart(0)
+	tr.StallStart(0, Memory)
+	tr.StallStop(vclock.Time(vclock.Second), Memory)
+	tr.UpdateAverages(vclock.Time(2 * vclock.Second))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.PressureFile(Memory)
+	}
+}

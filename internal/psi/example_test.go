@@ -1,0 +1,37 @@
+package psi_test
+
+import (
+	"fmt"
+
+	"tmo/internal/psi"
+	"tmo/internal/vclock"
+)
+
+// Example replays the paper's Figure 7 scenario: two processes whose stalls
+// first alternate (some pressure only) and then overlap (full pressure).
+func Example() {
+	tr := psi.NewTracker(0)
+	at := func(s float64) vclock.Time { return vclock.Time(s * float64(vclock.Second)) }
+
+	tr.TaskStart(0) // process A
+	tr.TaskStart(0) // process B
+
+	// First quarter: disjoint stalls — at most one process waits at a time.
+	tr.StallStart(at(5), psi.Memory)
+	tr.StallStop(at(11.25), psi.Memory)
+	tr.StallStart(at(15), psi.Memory)
+	tr.StallStop(at(21.25), psi.Memory)
+
+	// Second quarter: the stalls overlap for 6.25s.
+	tr.StallStart(at(25), psi.Memory)
+	tr.StallStart(at(31.25), psi.Memory)
+	tr.StallStop(at(37.5), psi.Memory)
+	tr.StallStop(at(43.75), psi.Memory)
+
+	tr.Sync(at(50))
+	fmt.Printf("some: %.2f%% of the timeline\n", 100*tr.Total(psi.Memory, psi.Some).Seconds()/50)
+	fmt.Printf("full: %.2f%% of the timeline\n", 100*tr.Total(psi.Memory, psi.Full).Seconds()/50)
+	// Output:
+	// some: 62.50% of the timeline
+	// full: 12.50% of the timeline
+}

@@ -1,0 +1,104 @@
+package senpai
+
+import (
+	"tmo/internal/cgroup"
+)
+
+// §3.3 closes with: "We leave it as future work to perform automated or
+// online tuning of these parameters to maximize savings." This file
+// implements that tuner.
+//
+// The control law's reclaim ratio is a fixed, globally conservative value.
+// When a workload sits far below its pressure threshold for a long time,
+// the fixed ratio is leaving savings on the table (convergence takes hours);
+// when pressure breaches, the fixed ratio keeps probing at full strength.
+// The tuner adapts a per-container multiplier on the ratio with the classic
+// AIMD shape: multiplicative increase while the container stays calm,
+// multiplicative cut on a pressure breach. AIMD keeps the aggressive regime
+// self-correcting — one breach undoes many raises.
+
+// AutoTuneConfig parameterises the online tuner.
+type AutoTuneConfig struct {
+	// Enabled turns the tuner on.
+	Enabled bool
+	// MinMult/MaxMult bound the ratio multiplier.
+	MinMult, MaxMult float64
+	// RaiseFactor is applied after RaiseAfter consecutive calm intervals
+	// (pressure under half the threshold).
+	RaiseFactor float64
+	RaiseAfter  int
+	// CutFactor is applied when pressure reaches the threshold.
+	CutFactor float64
+}
+
+// DefaultAutoTune returns a production-plausible tuner configuration.
+func DefaultAutoTune() AutoTuneConfig {
+	return AutoTuneConfig{
+		Enabled:     true,
+		MinMult:     0.25,
+		MaxMult:     16,
+		RaiseFactor: 1.25,
+		RaiseAfter:  3,
+		CutFactor:   0.5,
+	}
+}
+
+// tuneState tracks one container's tuner.
+type tuneState struct {
+	mult float64
+	calm int
+}
+
+// EnableAutoTune switches the controller's online parameter tuning on.
+func (c *Controller) EnableAutoTune(cfg AutoTuneConfig) {
+	c.autoTune = cfg
+	if c.tune == nil {
+		c.tune = make(map[*cgroup.Group]*tuneState)
+	}
+}
+
+// TuneMultiplier reports the current ratio multiplier for g (1 when the
+// tuner is off or has not acted).
+func (c *Controller) TuneMultiplier(g *cgroup.Group) float64 {
+	if st, ok := c.tune[g]; ok {
+		return st.mult
+	}
+	return 1
+}
+
+// tunedRatio applies the AIMD update for one interval and returns the
+// effective reclaim ratio for g.
+func (c *Controller) tunedRatio(g *cgroup.Group, cfg Config, memP, ioP float64) float64 {
+	if !c.autoTune.Enabled {
+		return cfg.ReclaimRatio
+	}
+	st, ok := c.tune[g]
+	if !ok {
+		st = &tuneState{mult: 1}
+		c.tune[g] = st
+	}
+	breach := memP >= cfg.MemPressureThreshold ||
+		(cfg.IOPressureThreshold > 0 && ioP >= cfg.IOPressureThreshold)
+	calm := memP < cfg.MemPressureThreshold/2 &&
+		(cfg.IOPressureThreshold <= 0 || ioP < cfg.IOPressureThreshold/2)
+	switch {
+	case breach:
+		st.mult *= c.autoTune.CutFactor
+		st.calm = 0
+	case calm:
+		st.calm++
+		if st.calm >= c.autoTune.RaiseAfter {
+			st.mult *= c.autoTune.RaiseFactor
+			st.calm = 0
+		}
+	default:
+		st.calm = 0
+	}
+	if st.mult < c.autoTune.MinMult {
+		st.mult = c.autoTune.MinMult
+	}
+	if st.mult > c.autoTune.MaxMult {
+		st.mult = c.autoTune.MaxMult
+	}
+	return cfg.ReclaimRatio * st.mult
+}

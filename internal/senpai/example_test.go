@@ -1,0 +1,25 @@
+package senpai_test
+
+import (
+	"fmt"
+
+	"tmo/internal/senpai"
+)
+
+// ExampleReclaimAmount shows the paper's control law at work: reclaim
+// shrinks linearly as measured pressure approaches the threshold and stops
+// entirely at it.
+func ExampleReclaimAmount() {
+	cfg := senpai.ConfigA() // ratio 0.0005, threshold 0.1%
+	const workload = 64 << 30
+
+	for _, pressure := range []float64{0, 0.0005, 0.001, 0.01} {
+		mb := senpai.ReclaimAmount(cfg, workload, pressure, 0) >> 20
+		fmt.Printf("pressure %.2f%% -> reclaim %d MiB per interval\n", 100*pressure, mb)
+	}
+	// Output:
+	// pressure 0.00% -> reclaim 32 MiB per interval
+	// pressure 0.05% -> reclaim 16 MiB per interval
+	// pressure 0.10% -> reclaim 0 MiB per interval
+	// pressure 1.00% -> reclaim 0 MiB per interval
+}

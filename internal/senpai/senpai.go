@@ -1,0 +1,350 @@
+// Package senpai implements TMO's userspace memory-offloading controller
+// (§3.3 of the paper).
+//
+// Senpai continuously applies mild memory pressure: every few seconds it
+// reads each target container's PSI totals, differences them over its own
+// window (like the production daemon does with the pressure-file total
+// field), and asks the kernel to proactively reclaim
+//
+//	reclaim_mem = current_mem × reclaim_ratio × max(0, 1 − PSIsome/PSIthreshold)
+//
+// via the stateless memory.reclaim control file. As pressure approaches the
+// threshold the requests shrink to zero, settling each workload at the
+// minimum resident set that keeps its stall time subliminal — without any
+// offline profiling and regardless of which offload backend is behind swap.
+//
+// Beyond the paper's formula the controller carries the production
+// safeguards §3.3 describes: it also watches IO pressure (offloading can
+// hurt indirectly through the storage device), modulates reclaim when the
+// SSD write rate exceeds the endurance budget (Fig. 14), stops probing when
+// swap space is exhausted, and optionally drives the legacy stateful
+// memory.max interface instead of memory.reclaim (the early Senpai design
+// the paper moved away from).
+package senpai
+
+import (
+	"tmo/internal/backend"
+	"tmo/internal/cgroup"
+	"tmo/internal/psi"
+	"tmo/internal/trace"
+	"tmo/internal/vclock"
+)
+
+// Config holds the controller parameters. The zero value is not valid; use
+// ConfigA (the paper's production configuration) or derive from it.
+type Config struct {
+	// Interval between control actions; production uses six seconds,
+	// chosen to let the delayed cost of reclaim (refaults) surface before
+	// the next decision.
+	Interval vclock.Duration
+	// ReclaimRatio is the fraction of the container's memory requested
+	// per interval at zero pressure; production uses 0.0005.
+	ReclaimRatio float64
+	// MemPressureThreshold is the target memory some-pressure fraction;
+	// production uses 0.001 (0.1%).
+	MemPressureThreshold float64
+	// IOPressureThreshold is the analogous bound on IO some-pressure;
+	// zero disables the IO term.
+	IOPressureThreshold float64
+	// MaxProbeFrac caps a single interval's reclaim at this fraction of
+	// the container's memory; production uses 0.01 (1%).
+	MaxProbeFrac float64
+	// WriteBudgetBytesPerSec caps the swap device's sustained write rate;
+	// reclaim scales down proportionally above it. Zero disables
+	// regulation. The fleet-safe production value is 1 MB/s (§4.5).
+	WriteBudgetBytesPerSec float64
+	// LimitMode drives the stateful memory.max knob instead of
+	// memory.reclaim, reproducing the early Senpai design whose risk of
+	// blocking expanding workloads motivated the memory.reclaim kernel
+	// addition (§3.3).
+	LimitMode bool
+}
+
+// ConfigA returns the paper's production configuration ("Config A" in
+// §4.4): mild pressure thresholds that avoid end-to-end SLA regressions.
+func ConfigA() Config {
+	return Config{
+		Interval:             6 * vclock.Second,
+		ReclaimRatio:         0.0005,
+		MemPressureThreshold: 0.001,
+		// The IO bound sits well above normal operational IO (streaming
+		// reads, cache fills) and trips only on reclaim-induced IO storms.
+		IOPressureThreshold: 0.03,
+		MaxProbeFrac:        0.01,
+	}
+}
+
+// ConfigB returns the aggressive configuration of §4.4's tuning experiment:
+// it tolerates roughly ten times more pressure and probes harder, buying
+// more savings at the cost of an RPS regression on Web.
+func ConfigB() Config {
+	c := ConfigA()
+	c.ReclaimRatio *= 6
+	c.MemPressureThreshold *= 10
+	c.IOPressureThreshold *= 10
+	return c
+}
+
+// TaxConfig returns the per-SLO override used for the memory-tax sidecars:
+// §2.3 notes their performance SLAs are more relaxed than workload
+// containers', which made them TMO's first production target. The override
+// probes harder and tolerates more pressure than ConfigA, but far less than
+// the Web-regressing ConfigB.
+func TaxConfig() Config {
+	c := ConfigA()
+	c.ReclaimRatio *= 4
+	c.MemPressureThreshold *= 5
+	c.IOPressureThreshold *= 2
+	return c
+}
+
+// Action records what the controller did to one container at one interval;
+// experiments use it for the Fig. 8 panels.
+type Action struct {
+	Time        vclock.Time
+	MemPressure float64
+	IOPressure  float64
+	Requested   int64
+	Reclaimed   int64
+	// WriteLimited reports that endurance regulation scaled this request.
+	WriteLimited bool
+}
+
+// Controller is one Senpai instance driving a set of containers.
+type Controller struct {
+	cfg  Config
+	swap backend.SwapBackend // may be nil in file-only mode
+
+	targets []*cgroup.Group
+	// perTarget overrides the controller configuration for individual
+	// containers: §2.3 notes the memory taxes have more relaxed SLAs than
+	// workload containers, and §3.3 plans distinct Senpai configurations
+	// per SLO class. Overrides share the controller's Interval.
+	perTarget  map[*cgroup.Group]Config
+	lastMem    map[*cgroup.Group]vclock.Duration
+	lastIO     map[*cgroup.Group]vclock.Duration
+	last       map[*cgroup.Group]Action
+	workingSet map[*cgroup.Group]WorkingSetProfile
+
+	lastRun vclock.Time
+	started bool
+
+	// writeScale is the endurance regulator's persistent gain in (0, 1]:
+	// multiplicative decrease while the device write rate exceeds the
+	// budget, slow recovery below it. A stateless one-shot scale would
+	// oscillate between sprinting and stalling around the budget.
+	writeScale float64
+
+	totalRequested int64
+	totalReclaimed int64
+	runs           int64
+
+	// Online parameter tuning (§3.3 future work); see autotune.go.
+	autoTune AutoTuneConfig
+	tune     map[*cgroup.Group]*tuneState
+
+	trace *trace.Log
+}
+
+// SetTrace attaches an event log the controller reports its decisions to.
+func (c *Controller) SetTrace(l *trace.Log) { c.trace = l }
+
+// New returns a controller with the given configuration. swap may be nil
+// when the host runs file-only mode; it is used for write-rate regulation.
+func New(cfg Config, swap backend.SwapBackend) *Controller {
+	if cfg.Interval <= 0 {
+		panic("senpai: interval must be positive")
+	}
+	return &Controller{
+		cfg:        cfg,
+		swap:       swap,
+		writeScale: 1,
+		perTarget:  make(map[*cgroup.Group]Config),
+		lastMem:    make(map[*cgroup.Group]vclock.Duration),
+		lastIO:     make(map[*cgroup.Group]vclock.Duration),
+		last:       make(map[*cgroup.Group]Action),
+		workingSet: make(map[*cgroup.Group]WorkingSetProfile),
+	}
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// SetWriteBudget changes the endurance write budget at runtime; the Fig. 14
+// experiment enables regulation mid-run this way. Zero disables regulation.
+func (c *Controller) SetWriteBudget(bytesPerSec float64) {
+	c.cfg.WriteBudgetBytesPerSec = bytesPerSec
+}
+
+// AddTarget registers a container for offloading under the controller's
+// global configuration.
+func (c *Controller) AddTarget(g *cgroup.Group) {
+	c.targets = append(c.targets, g)
+}
+
+// AddTargetWithConfig registers a container with its own configuration —
+// e.g. a relaxed-SLA tax sidecar that tolerates more pressure. The
+// override's Interval is ignored; the controller runs all targets on one
+// cadence.
+func (c *Controller) AddTargetWithConfig(g *cgroup.Group, cfg Config) {
+	c.targets = append(c.targets, g)
+	c.perTarget[g] = cfg
+}
+
+// targetConfig resolves the configuration for one container.
+func (c *Controller) targetConfig(g *cgroup.Group) Config {
+	if cfg, ok := c.perTarget[g]; ok {
+		return cfg
+	}
+	return c.cfg
+}
+
+// Targets returns the registered containers.
+func (c *Controller) Targets() []*cgroup.Group { return c.targets }
+
+// LastAction returns the most recent action applied to g.
+func (c *Controller) LastAction(g *cgroup.Group) Action { return c.last[g] }
+
+// TotalRequested returns cumulative bytes requested for reclaim.
+func (c *Controller) TotalRequested() int64 { return c.totalRequested }
+
+// TotalReclaimed returns cumulative bytes the kernel actually freed.
+func (c *Controller) TotalReclaimed() int64 { return c.totalReclaimed }
+
+// Runs returns how many control intervals have executed.
+func (c *Controller) Runs() int64 { return c.runs }
+
+// Tick drives the controller; it acts only when a full interval has elapsed
+// since the last action, so it can be called every simulation tick.
+func (c *Controller) Tick(now vclock.Time) {
+	if !c.started {
+		c.started = true
+		c.lastRun = now
+		c.snapshot(now)
+		return
+	}
+	interval := now.Sub(c.lastRun)
+	if interval < c.cfg.Interval {
+		return
+	}
+	c.lastRun = now
+	c.runs++
+
+	// Update the endurance regulator once per interval from the device's
+	// recent write rate (§4.5).
+	writeLimited := false
+	if c.cfg.WriteBudgetBytesPerSec > 0 && c.swap != nil {
+		rate := c.swap.WriteRate(now)
+		if rate > c.cfg.WriteBudgetBytesPerSec {
+			c.writeScale *= c.cfg.WriteBudgetBytesPerSec / rate
+			writeLimited = true
+		} else {
+			c.writeScale *= 1.25
+		}
+		if c.writeScale > 1 {
+			c.writeScale = 1
+		}
+		if c.writeScale < 0.005 {
+			c.writeScale = 0.005
+		}
+		writeLimited = writeLimited || c.writeScale < 1
+	} else {
+		c.writeScale = 1
+	}
+
+	for _, g := range c.targets {
+		cfg := c.targetConfig(g)
+		tr := g.PSI()
+		tr.Sync(now)
+		memTot := tr.Total(psi.Memory, psi.Some)
+		ioTot := tr.Total(psi.IO, psi.Some)
+		memP := psi.WindowedPressure(c.lastMem[g], memTot, interval)
+		ioP := psi.WindowedPressure(c.lastIO[g], ioTot, interval)
+		c.lastMem[g] = memTot
+		c.lastIO[g] = ioTot
+
+		act := Action{Time: now, MemPressure: memP, IOPressure: ioP}
+
+		current := g.MemoryCurrent()
+		c.observeWorkingSet(g, cfg, now, current, memP)
+		cfg.ReclaimRatio = c.tunedRatio(g, cfg, memP, ioP)
+		reclaim := ReclaimAmount(cfg, current, memP, ioP)
+
+		// Endurance regulation (§4.5): apply the regulator's gain.
+		if reclaim > 0 && c.writeScale < 1 {
+			reclaim = int64(float64(reclaim) * c.writeScale)
+			act.WriteLimited = writeLimited
+		}
+
+		act.Requested = reclaim
+		if reclaim > 0 {
+			if cfg.LimitMode {
+				res := g.SetMemoryMax(now, current-reclaim)
+				act.Reclaimed = res.ReclaimedBytes
+			} else {
+				res := g.MemoryReclaim(now, reclaim)
+				act.Reclaimed = res.ReclaimedBytes
+			}
+		} else if cfg.LimitMode {
+			// Pressure at or above threshold: relieve the limit so an
+			// expanding workload is not blocked.
+			g.SetMemoryMax(now, current+int64(float64(current)*cfg.MaxProbeFrac))
+		}
+		c.totalRequested += act.Requested
+		c.totalReclaimed += act.Reclaimed
+		c.last[g] = act
+
+		if c.trace != nil {
+			switch {
+			case act.WriteLimited:
+				c.trace.Emit(now, trace.KindSenpaiWriteRg, g.Name(),
+					"reclaim scaled to %d B (scale %.3f)", act.Requested, c.writeScale)
+			case act.Requested == 0:
+				c.trace.Emit(now, trace.KindSenpaiBackoff, g.Name(),
+					"pressure mem=%.4f io=%.4f at/above threshold", act.MemPressure, act.IOPressure)
+			default:
+				c.trace.Emit(now, trace.KindSenpaiReclaim, g.Name(),
+					"requested %d B, reclaimed %d B (mem=%.4f io=%.4f)",
+					act.Requested, act.Reclaimed, act.MemPressure, act.IOPressure)
+			}
+		}
+	}
+}
+
+// snapshot primes the PSI baselines without acting.
+func (c *Controller) snapshot(now vclock.Time) {
+	for _, g := range c.targets {
+		tr := g.PSI()
+		tr.Sync(now)
+		c.lastMem[g] = tr.Total(psi.Memory, psi.Some)
+		c.lastIO[g] = tr.Total(psi.IO, psi.Some)
+	}
+}
+
+// ReclaimAmount is the paper's control law (§3.3) as a pure function:
+//
+//	reclaim = current × ratio × max(0, 1 − max(memP/memThr, ioP/ioThr))
+//
+// capped at MaxProbeFrac of current. It is exported so its properties
+// (monotonicity in pressure, the hard zero at threshold, the probe cap) can
+// be verified directly.
+func ReclaimAmount(cfg Config, currentBytes int64, memP, ioP float64) int64 {
+	ratio := memP / cfg.MemPressureThreshold
+	if cfg.IOPressureThreshold > 0 {
+		if r := ioP / cfg.IOPressureThreshold; r > ratio {
+			ratio = r
+		}
+	}
+	reclaim := int64(float64(currentBytes) * cfg.ReclaimRatio * maxf(0, 1-ratio))
+	if maxStep := int64(float64(currentBytes) * cfg.MaxProbeFrac); reclaim > maxStep {
+		reclaim = maxStep
+	}
+	return reclaim
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

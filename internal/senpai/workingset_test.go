@@ -1,0 +1,120 @@
+package senpai
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tmo/internal/vclock"
+)
+
+// Property tests on the exported control law.
+
+func TestReclaimAmountZeroAtThreshold(t *testing.T) {
+	cfg := ConfigA()
+	if got := ReclaimAmount(cfg, 1<<30, cfg.MemPressureThreshold, 0); got != 0 {
+		t.Fatalf("reclaim at threshold = %d, want 0", got)
+	}
+	if got := ReclaimAmount(cfg, 1<<30, 0, cfg.IOPressureThreshold); got != 0 {
+		t.Fatalf("reclaim at IO threshold = %d, want 0", got)
+	}
+	if got := ReclaimAmount(cfg, 1<<30, 10*cfg.MemPressureThreshold, 0); got != 0 {
+		t.Fatalf("reclaim above threshold = %d, want 0", got)
+	}
+}
+
+func TestReclaimAmountFullAtZeroPressure(t *testing.T) {
+	cfg := ConfigA()
+	const current = 1 << 30
+	want := int64(float64(current) * cfg.ReclaimRatio)
+	if got := ReclaimAmount(cfg, current, 0, 0); got != want {
+		t.Fatalf("reclaim at zero pressure = %d, want %d", got, want)
+	}
+}
+
+func TestReclaimAmountProbeCap(t *testing.T) {
+	cfg := ConfigA()
+	cfg.ReclaimRatio = 0.5
+	const current = 1 << 30
+	if got, cap := ReclaimAmount(cfg, current, 0, 0), int64(float64(current)*cfg.MaxProbeFrac); got != cap {
+		t.Fatalf("probe cap not enforced: %d vs %d", got, cap)
+	}
+}
+
+// Property: the law is non-increasing in both pressures and never negative
+// or above the probe cap.
+func TestReclaimAmountMonotone(t *testing.T) {
+	cfg := ConfigA()
+	f := func(rawA, rawB uint16, rawIO uint16, cur uint32) bool {
+		current := int64(cur) + 1
+		a := float64(rawA) / 65535 * 2 * cfg.MemPressureThreshold
+		b := float64(rawB) / 65535 * 2 * cfg.MemPressureThreshold
+		if a > b {
+			a, b = b, a
+		}
+		io := float64(rawIO) / 65535 * cfg.IOPressureThreshold
+		lo := ReclaimAmount(cfg, current, b, io)
+		hi := ReclaimAmount(cfg, current, a, io)
+		if lo > hi {
+			return false // more pressure must never reclaim more
+		}
+		cap := int64(float64(current) * cfg.MaxProbeFrac)
+		return hi >= 0 && hi <= cap+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkingSetProfile(t *testing.T) {
+	e := newEnv("")
+	e.populate(10000) // 40 MiB
+	c := New(ConfigA(), nil)
+	c.AddTarget(e.g)
+	c.Tick(0)
+	now := vclock.Time(0)
+	for i := 0; i < 50; i++ {
+		now = now.Add(6 * vclock.Second)
+		c.Tick(now)
+	}
+	w := c.WorkingSet(e.g)
+	if w.Samples != 50 {
+		t.Fatalf("samples = %d", w.Samples)
+	}
+	if w.MaxBytes < w.MinBytes || w.MinBytes == 0 {
+		t.Fatalf("profile bounds wrong: %+v", w)
+	}
+	// With zero pressure throughout, the minimum equals the final
+	// (smallest) resident size and the max the initial one.
+	if w.CurrentBytes != w.MinBytes {
+		t.Fatalf("min %d != current %d under zero pressure", w.MinBytes, w.CurrentBytes)
+	}
+	if w.MaxBytes != 10000*pageSize {
+		t.Fatalf("max = %d, want initial resident", w.MaxBytes)
+	}
+	if w.OverprovisionFrac() <= 0 {
+		t.Fatalf("no overprovisioning detected despite shrink")
+	}
+	if w.LastUpdate != now {
+		t.Fatalf("last update = %v", w.LastUpdate)
+	}
+	// The zero-value profile reports zero overprovisioning.
+	if (WorkingSetProfile{}).OverprovisionFrac() != 0 {
+		t.Fatalf("zero profile overprovision != 0")
+	}
+}
+
+// Property: OverprovisionFrac stays in [0, 1] for any min <= max.
+func TestOverprovisionBounds(t *testing.T) {
+	f := func(minRaw, spanRaw uint32) bool {
+		w := WorkingSetProfile{
+			MinBytes: int64(minRaw),
+			MaxBytes: int64(minRaw) + int64(spanRaw),
+		}
+		o := w.OverprovisionFrac()
+		return o >= 0 && o <= 1 && !math.IsNaN(o)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+package sim
+
+import (
+	"testing"
+
+	"tmo/internal/cgroup"
+	"tmo/internal/vclock"
+	"tmo/internal/workload"
+)
+
+// BenchmarkServerTick measures the simulator's fundamental unit of work:
+// one 100ms tick of a host serving a real workload mix. The inverse of this
+// number is how much virtual time one wall-clock second simulates.
+func BenchmarkServerTick(b *testing.B) {
+	s := newServer(768, "zswap")
+	s.AddApp(workload.MustCatalog("feed"), cgroup.Workload, nil, 1)
+	s.AddApp(workload.MustCatalog("cache-a"), cgroup.Workload, nil, 2)
+	s.AddApp(workload.MustCatalog("datacenter-tax"), cgroup.DatacenterTax, nil, 3)
+	s.Run(5 * vclock.Second) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(100 * vclock.Millisecond)
+	}
+	b.ReportMetric(float64(s.Now())/float64(vclock.Second)/b.Elapsed().Seconds(), "vsec/sec")
+}

@@ -1,0 +1,148 @@
+// Package textplot renders experiment results as plain-text tables and
+// ASCII line charts, so every figure of the paper can be regenerated and
+// eyeballed straight from a terminal.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tmo/internal/metrics"
+)
+
+// Table renders rows of cells with aligned columns. The first row is the
+// header.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, r := range rows {
+		for i, c := range r {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, r := range rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			for i := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", widths[i]))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Chart renders one or more series as an ASCII line chart of the given
+// size. Series are drawn with distinct glyphs in order: * + o x # @.
+func Chart(title string, series []*metrics.Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@'}
+
+	// Find global ranges.
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points {
+			any = true
+			t := float64(p.T)
+			minT = math.Min(minT, t)
+			maxT = math.Max(maxT, t)
+			minV = math.Min(minV, p.V)
+			maxV = math.Max(maxV, p.V)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if !any {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	if maxT == minT {
+		maxT = minT + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			x := int(float64(width-1) * (float64(p.T) - minT) / (maxT - minT))
+			y := int(float64(height-1) * (p.V - minV) / (maxV - minV))
+			row := height - 1 - y
+			grid[row][x] = g
+		}
+	}
+	fmt.Fprintf(&b, "%*.4g ┤\n", 10, maxV)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%*.4g ┤%s\n", 10, minV, strings.Repeat("─", width))
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "%10s %c = %s\n", "", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal bar chart from labeled values, scaled to maxWidth
+// characters for the largest value.
+func Bar(title string, labels []string, values []float64, maxWidth int) string {
+	if len(labels) != len(values) {
+		panic("textplot: labels and values length mismatch")
+	}
+	if maxWidth <= 0 {
+		maxWidth = 40
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(float64(maxWidth) * v / maxV)
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s │%s %.2f\n", maxL, labels[i], strings.Repeat("█", n), v)
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"tmo/internal/metrics"
+	"tmo/internal/vclock"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([][]string{
+		{"App", "Savings"},
+		{"web", "13%"},
+		{"warehouse", "9%"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d, want 4 (header + rule + 2 rows)", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("missing header rule: %q", lines[1])
+	}
+	// Columns align: "Savings" column must start at the same offset in
+	// every row.
+	idx := strings.Index(lines[0], "Savings")
+	if !strings.HasPrefix(lines[2][idx:], "13%") {
+		t.Fatalf("column misaligned: %q", lines[2])
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	if Table(nil) != "" {
+		t.Fatalf("empty table should render empty")
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	var s metrics.Series
+	s.Name = "rps"
+	for i := 0; i < 100; i++ {
+		s.Record(vclock.Time(i)*vclock.Time(vclock.Second), float64(i))
+	}
+	out := Chart("Fig", []*metrics.Series{&s}, 40, 8)
+	if !strings.Contains(out, "Fig") || !strings.Contains(out, "* = rps") {
+		t.Fatalf("chart missing title or legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("chart has no data glyphs")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("Empty", []*metrics.Series{{Name: "x"}}, 40, 8)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart: %q", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	var s metrics.Series
+	s.Name = "flat"
+	s.Record(0, 5)
+	s.Record(vclock.Time(vclock.Second), 5)
+	out := Chart("Flat", []*metrics.Series{&s}, 20, 4)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series not drawn:\n%s", out)
+	}
+}
+
+func TestChartMultipleSeriesGlyphs(t *testing.T) {
+	a := &metrics.Series{Name: "a"}
+	b := &metrics.Series{Name: "b"}
+	a.Record(0, 1)
+	b.Record(0, 2)
+	out := Chart("Two", []*metrics.Series{a, b}, 20, 4)
+	if !strings.Contains(out, "* = a") || !strings.Contains(out, "+ = b") {
+		t.Fatalf("legend glyphs wrong:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	out := Bar("Savings", []string{"web", "feed"}, []float64{10, 5}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("bar lines = %d", len(lines))
+	}
+	if strings.Count(lines[1], "█") != 20 {
+		t.Fatalf("max bar not full width: %q", lines[1])
+	}
+	if strings.Count(lines[2], "█") != 10 {
+		t.Fatalf("half bar wrong: %q", lines[2])
+	}
+}
+
+func TestBarMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("mismatched bar input accepted")
+		}
+	}()
+	Bar("x", []string{"a"}, []float64{1, 2}, 10)
+}

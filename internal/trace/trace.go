@@ -1,0 +1,93 @@
+// Package trace provides a bounded, allocation-light event log for the
+// userspace controllers. Production TMO ships controller decisions to
+// fleet telemetry; here the same role is played by an in-memory ring that
+// tools (tmosim -trace) can dump for debugging a run.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"tmo/internal/vclock"
+)
+
+// Kind classifies an event source.
+type Kind string
+
+// Well-known event kinds.
+const (
+	KindSenpaiReclaim Kind = "senpai.reclaim"
+	KindSenpaiBackoff Kind = "senpai.backoff"
+	KindSenpaiWriteRg Kind = "senpai.write-regulated"
+	KindOOMKill       Kind = "oomd.kill"
+	KindRestart       Kind = "workload.restart"
+)
+
+// Event is one recorded decision.
+type Event struct {
+	Time    vclock.Time
+	Kind    Kind
+	Subject string
+	Detail  string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	return fmt.Sprintf("%-10s %-22s %-18s %s", e.Time, e.Kind, e.Subject, e.Detail)
+}
+
+// Log is a fixed-capacity ring of events. The zero value is unusable; call
+// NewLog.
+type Log struct {
+	ring  []Event
+	next  int
+	total int64
+}
+
+// NewLog returns a log retaining the most recent capacity events.
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	return &Log{ring: make([]Event, 0, capacity)}
+}
+
+// Emit records an event.
+func (l *Log) Emit(now vclock.Time, kind Kind, subject, format string, args ...any) {
+	e := Event{Time: now, Kind: kind, Subject: subject, Detail: fmt.Sprintf(format, args...)}
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+	} else {
+		l.ring[l.next] = e
+		l.next = (l.next + 1) % cap(l.ring)
+	}
+	l.total++
+}
+
+// Total returns how many events were ever emitted (including evicted ones).
+func (l *Log) Total() int64 { return l.total }
+
+// Events returns the retained events in chronological order.
+func (l *Log) Events() []Event {
+	if len(l.ring) < cap(l.ring) {
+		return append([]Event(nil), l.ring...)
+	}
+	out := make([]Event, 0, len(l.ring))
+	out = append(out, l.ring[l.next:]...)
+	out = append(out, l.ring[:l.next]...)
+	return out
+}
+
+// Tail renders the last n retained events, oldest first.
+func (l *Log) Tail(n int) string {
+	evs := l.Events()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	var b strings.Builder
+	for _, e := range evs {
+		b.WriteString(e.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

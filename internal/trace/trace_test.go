@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tmo/internal/vclock"
+)
+
+func TestEmitAndEvents(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 3; i++ {
+		l.Emit(vclock.Time(i)*vclock.Time(vclock.Second), KindSenpaiReclaim, "web", "reclaim %d", i)
+	}
+	evs := l.Events()
+	if len(evs) != 3 || l.Total() != 3 {
+		t.Fatalf("events = %d, total = %d", len(evs), l.Total())
+	}
+	if evs[0].Detail != "reclaim 0" || evs[2].Detail != "reclaim 2" {
+		t.Fatalf("order wrong: %+v", evs)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := NewLog(3)
+	for i := 0; i < 10; i++ {
+		l.Emit(vclock.Time(i), KindOOMKill, "x", "%d", i)
+	}
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	if evs[0].Detail != "7" || evs[2].Detail != "9" {
+		t.Fatalf("ring kept wrong window: %+v", evs)
+	}
+	if l.Total() != 10 {
+		t.Fatalf("total = %d", l.Total())
+	}
+}
+
+func TestTail(t *testing.T) {
+	l := NewLog(10)
+	for i := 0; i < 5; i++ {
+		l.Emit(vclock.Time(i), KindRestart, "app", "r%d", i)
+	}
+	out := l.Tail(2)
+	if !strings.Contains(out, "r3") || !strings.Contains(out, "r4") || strings.Contains(out, "r2") {
+		t.Fatalf("tail = %q", out)
+	}
+	if got := l.Tail(0); strings.Count(got, "\n") != 5 {
+		t.Fatalf("tail(0) should render all: %q", got)
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic")
+		}
+	}()
+	NewLog(0)
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: vclock.Time(vclock.Second), Kind: KindSenpaiWriteRg, Subject: "ads", Detail: "x"}
+	s := e.String()
+	if !strings.Contains(s, "senpai.write-regulated") || !strings.Contains(s, "ads") {
+		t.Fatalf("event string = %q", s)
+	}
+}
+
+// Property: the ring always keeps exactly the last min(total, cap) events,
+// chronologically ordered.
+func TestRingInvariant(t *testing.T) {
+	f := func(n uint8, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		l := NewLog(capacity)
+		for i := 0; i < int(n); i++ {
+			l.Emit(vclock.Time(i), KindRestart, "s", "%d", i)
+		}
+		evs := l.Events()
+		want := int(n)
+		if want > capacity {
+			want = capacity
+		}
+		if len(evs) != want {
+			return false
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Time <= evs[i-1].Time {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("new clock Now() = %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(5 * Second)
+	if got := c.Now(); got != Time(5*Second) {
+		t.Fatalf("Now() = %v, want 5s", got)
+	}
+	c.Advance(250 * Millisecond)
+	if got := c.Now().Seconds(); got != 5.25 {
+		t.Fatalf("Seconds() = %v, want 5.25", got)
+	}
+}
+
+func TestClockAdvanceZeroAllowed(t *testing.T) {
+	c := NewClock()
+	c.Advance(0)
+	if c.Now() != 0 {
+		t.Fatalf("zero advance moved the clock")
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.AdvanceTo(Time(3 * Minute))
+	if c.Now() != Time(3*Minute) {
+		t.Fatalf("AdvanceTo failed: %v", c.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("AdvanceTo(past) did not panic")
+		}
+	}()
+	c.AdvanceTo(Time(1 * Minute))
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(10 * Second)
+	t1 := t0.Add(90 * Second)
+	if t1.Sub(t0) != 90*Second {
+		t.Fatalf("Sub = %v, want 90s", t1.Sub(t0))
+	}
+	if t1 != Time(100*Second) {
+		t.Fatalf("Add = %v, want 100s", t1)
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	d := 1500 * Millisecond
+	if d.Seconds() != 1.5 {
+		t.Fatalf("Seconds() = %v", d.Seconds())
+	}
+	if d.Millis() != 1500 {
+		t.Fatalf("Millis() = %v", d.Millis())
+	}
+	if d.Micros() != 1_500_000 {
+		t.Fatalf("Micros() = %v", d.Micros())
+	}
+	if d.Std() != 1500*time.Millisecond {
+		t.Fatalf("Std() = %v", d.Std())
+	}
+	if FromStd(2*time.Second) != 2*Second {
+		t.Fatalf("FromStd = %v", FromStd(2*time.Second))
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	if got := (90 * Second).String(); got != "1m30s" {
+		t.Fatalf("String() = %q, want \"1m30s\"", got)
+	}
+}
+
+// Property: Add and Sub are inverse operations for any pair of instants.
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(base int64, delta int32) bool {
+		t0 := Time(base)
+		d := Duration(delta)
+		return t0.Add(d).Sub(t0) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the clock is monotonically non-decreasing under any sequence of
+// non-negative advances, and the final reading equals the sum of advances.
+func TestClockMonotone(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := NewClock()
+		var sum Time
+		for _, s := range steps {
+			prev := c.Now()
+			now := c.Advance(Duration(s))
+			if now < prev {
+				return false
+			}
+			sum += Time(s)
+		}
+		return c.Now() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
