@@ -1,0 +1,18 @@
+# Tier-1 verification gate (see ROADMAP.md): everything must build, vet
+# clean, and pass tests; the concurrency-sensitive packages additionally
+# run under the race detector.
+
+GO ?= go
+
+.PHONY: all check race
+
+all: check
+
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(MAKE) race
+
+race:
+	$(GO) test -race ./internal/telemetry ./internal/trace ./internal/metrics

@@ -24,6 +24,7 @@ import (
 	"tmo/internal/core"
 	"tmo/internal/fleet"
 	"tmo/internal/senpai"
+	"tmo/internal/textplot"
 	"tmo/internal/vclock"
 )
 
@@ -90,6 +91,9 @@ func main() {
 		}
 	}
 
+	fmt.Println()
+	fmt.Print(telemetryTable(ms))
+
 	dc, micro := fleet.WeightedTaxSavings(ms)
 	var appSavings, wsum float64
 	for _, m := range ms {
@@ -99,4 +103,28 @@ func main() {
 	fmt.Printf("\nweighted application savings: %.1f%% of resident memory\n", 100*appSavings/wsum)
 	fmt.Printf("weighted tax savings: datacenter %.1f%% + microservice %.1f%% = %.1f%% of server memory\n",
 		100*dc, 100*micro, 100*(dc+micro))
+}
+
+// telemetryTable renders the per-server pressure/latency view pulled from
+// each TMO run's telemetry registry, plus a savings bar chart.
+func telemetryTable(ms []fleet.Measurement) string {
+	rows := [][]string{{"app", "savings", "rps", "fault p50 µs", "fault p99 µs", "mem-stall p99 µs", "refaults", "ooms"}}
+	var labels []string
+	var savings []float64
+	for _, m := range ms {
+		rows = append(rows, []string{
+			m.Spec.App,
+			fmt.Sprintf("%.1f%%", 100*m.SavingsFrac),
+			fmt.Sprintf("%.2f", m.RPSRatio),
+			fmt.Sprintf("%.4g", m.FaultLatencyP50Us),
+			fmt.Sprintf("%.4g", m.FaultLatencyP99Us),
+			fmt.Sprintf("%.4g", m.MemStallP99Us),
+			fmt.Sprintf("%d", m.Refaults),
+			fmt.Sprintf("%d", m.OOMEvents),
+		})
+		labels = append(labels, m.Spec.App)
+		savings = append(savings, 100*m.SavingsFrac)
+	}
+	return textplot.Table(rows) + "\n" +
+		textplot.Bar("resident-memory savings by class (%)", labels, savings, 40)
 }

@@ -21,6 +21,7 @@ import (
 	"tmo/internal/core"
 	"tmo/internal/mm"
 	"tmo/internal/psi"
+	"tmo/internal/textplot"
 	"tmo/internal/vclock"
 	"tmo/internal/workload"
 )
@@ -106,6 +107,54 @@ func main() {
 		})
 		fmt.Println()
 	}
+
+	fmt.Print(telemetrySummary(sys))
+}
+
+// telemetrySummary renders the registry-backed end-of-run view: root stall
+// time by resource and the latency distributions behind it.
+func telemetrySummary(sys *core.System) string {
+	snap := sys.TelemetrySnapshot()
+	var b strings.Builder
+
+	var labels []string
+	var values []float64
+	for _, res := range []string{"memory", "io", "cpu"} {
+		for _, kind := range []string{"some", "full"} {
+			if m, ok := snap.Get(fmt.Sprintf("psi.%s.%s_total_us", res, kind)); ok {
+				labels = append(labels, res+" "+kind)
+				values = append(values, m.Value/1000)
+			}
+		}
+	}
+	if len(labels) > 0 {
+		b.WriteString(textplot.Bar("root stall time by resource (ms, whole run)", labels, values, 40))
+		b.WriteString("\n")
+	}
+
+	rows := [][]string{{"distribution", "count", "p50", "p90", "p99", "max"}}
+	for _, m := range snap.Metrics {
+		if m.Kind != "histogram" || m.Count == 0 {
+			continue
+		}
+		name := m.Name
+		for _, l := range m.Labels {
+			name += fmt.Sprintf(" %s=%s", l.Key, l.Value)
+		}
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d", m.Count),
+			fmt.Sprintf("%.4g", m.Quantile(0.50)),
+			fmt.Sprintf("%.4g", m.Quantile(0.90)),
+			fmt.Sprintf("%.4g", m.Quantile(0.99)),
+			fmt.Sprintf("%.4g", m.Max),
+		})
+	}
+	if len(rows) > 1 {
+		b.WriteString("latency and size distributions (registry histograms, µs unless named otherwise)\n")
+		b.WriteString(textplot.Table(rows))
+	}
+	return b.String()
 }
 
 func displayName(g *cgroup.Group) string {

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -38,6 +39,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	controls := flag.Bool("controls", false, "dump cgroup control files at the end")
 	traceN := flag.Int("trace", 0, "dump the last N controller trace events at the end")
+	metricsOut := flag.String("metrics-out", "", "write the telemetry registry to this file in Prometheus text format")
+	traceOut := flag.String("trace-out", "", "write the decision-span timeline to this file in Chrome trace_event JSON (open in chrome://tracing or Perfetto)")
+	timelineOut := flag.String("timeline-out", "", "write the decision-span timeline to this file as JSON Lines")
 	flag.Parse()
 
 	if *list {
@@ -135,6 +139,35 @@ func main() {
 
 	if *traceN > 0 {
 		fmt.Printf("\ncontroller trace (last %d of %d events):\n%s", *traceN, sys.Trace.Total(), sys.Trace.Tail(*traceN))
+	}
+
+	if *metricsOut != "" {
+		writeFile(*metricsOut, sys.TelemetrySnapshot().WritePrometheus)
+		fmt.Printf("\nwrote metrics to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		writeFile(*traceOut, sys.Tracer.WriteChromeTrace)
+		fmt.Printf("wrote Chrome trace to %s (%d records, %d dropped)\n",
+			*traceOut, sys.Tracer.Len(), sys.Tracer.Dropped())
+	}
+	if *timelineOut != "" {
+		writeFile(*timelineOut, sys.Tracer.WriteJSONL)
+		fmt.Printf("wrote JSONL timeline to %s\n", *timelineOut)
+	}
+}
+
+// writeFile creates path and streams write into it, exiting on any error.
+func writeFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"tmo/internal/dist"
 	"tmo/internal/metrics"
+	"tmo/internal/telemetry"
 	"tmo/internal/vclock"
 )
 
@@ -92,6 +93,10 @@ type SSDDevice struct {
 	degradation float64
 
 	readObserver func(vclock.Duration)
+
+	// Registry instruments, nil until EnableTelemetry.
+	telReads, telWrites, telWrittenBytes *telemetry.Counter
+	telReadLat, telWriteLat              *telemetry.Histogram
 }
 
 // SetDegradation scales the device's service times by factor (>= 1) from
@@ -150,6 +155,10 @@ func (d *SSDDevice) Read(now vclock.Time) vclock.Duration {
 	if d.readObserver != nil {
 		d.readObserver(lat)
 	}
+	if d.telReads != nil {
+		d.telReads.Inc()
+		d.telReadLat.Record(float64(lat))
+	}
 	return lat
 }
 
@@ -165,7 +174,13 @@ func (d *SSDDevice) Write(now vclock.Time, n int64) vclock.Duration {
 	if d.degradation > 1 {
 		f *= d.degradation
 	}
-	return vclock.Duration(float64(d.writeLat.Sample(d.rng)) * f)
+	lat := vclock.Duration(float64(d.writeLat.Sample(d.rng)) * f)
+	if d.telWrites != nil {
+		d.telWrites.Inc()
+		d.telWrittenBytes.Add(n)
+		d.telWriteLat.Record(float64(lat))
+	}
+	return lat
 }
 
 // Reads returns the cumulative read count.

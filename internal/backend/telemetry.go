@@ -1,0 +1,44 @@
+package backend
+
+import (
+	"tmo/internal/telemetry"
+	"tmo/internal/trace"
+)
+
+// EnableTelemetry registers the device's traffic counters and per-device
+// latency histograms with reg, labelled by catalog model so a fleet of
+// hosts with mixed SSD generations stays distinguishable (Fig. 5's
+// per-generation latency spread is read off exactly these series).
+func (d *SSDDevice) EnableTelemetry(reg *telemetry.Registry) {
+	dev := telemetry.Label{Key: "device", Value: d.Spec.Model}
+	d.telReads = reg.Counter("backend.ssd.reads", dev)
+	d.telWrites = reg.Counter("backend.ssd.writes", dev)
+	d.telWrittenBytes = reg.Counter("backend.ssd.written_bytes", dev)
+	d.telReadLat = reg.Histogram("backend.ssd.read_latency_us", dev)
+	d.telWriteLat = reg.Histogram("backend.ssd.write_latency_us", dev)
+}
+
+// EnableTelemetry registers the pool's counters, its compression-ratio
+// histogram, and a pool-occupancy gauge with reg.
+func (z *Zswap) EnableTelemetry(reg *telemetry.Registry) {
+	z.telStores = reg.Counter("backend.zswap.stores")
+	z.telLoads = reg.Counter("backend.zswap.loads")
+	z.telRejects = reg.Counter("backend.zswap.rejects")
+	z.telRatio = reg.Histogram("backend.zswap.compress_ratio")
+	reg.GaugeFunc("backend.zswap.pool_bytes", func() float64 { return float64(z.stats.StoredBytes) })
+	reg.GaugeFunc("backend.zswap.logical_bytes", func() float64 { return float64(z.stats.LogicalBytes) })
+}
+
+// EnableTelemetry registers the hierarchy's migration counters and wires
+// both tiers.
+func (t *Tiered) EnableTelemetry(reg *telemetry.Registry) {
+	t.warm.EnableTelemetry(reg)
+	t.telWritebacks = reg.Counter("backend.tiered.writebacks")
+	t.telDirectSSD = reg.Counter("backend.tiered.direct_ssd")
+	reg.GaugeFunc("backend.tiered.warm_pages", func() float64 { return float64(t.WarmPages()) })
+	reg.GaugeFunc("backend.tiered.cold_pages", func() float64 { return float64(t.ColdPages()) })
+}
+
+// SetTrace attaches an event log the hierarchy reports pool-to-SSD
+// writebacks to.
+func (t *Tiered) SetTrace(l *trace.Log) { t.trace = l }

@@ -1,6 +1,8 @@
 package backend
 
 import (
+	"tmo/internal/telemetry"
+	"tmo/internal/trace"
 	"tmo/internal/vclock"
 )
 
@@ -34,6 +36,10 @@ type Tiered struct {
 
 	writebacks int64
 	directSSD  int64
+
+	// Registry instruments and decision log, nil until enabled.
+	telWritebacks, telDirectSSD *telemetry.Counter
+	trace                       *trace.Log
 }
 
 type tieredEntry struct {
@@ -91,6 +97,9 @@ func (t *Tiered) Store(now vclock.Time, pageBytes int64, compressRatio float64) 
 			return StoreResult{}, err
 		}
 		t.directSSD++
+		if t.telDirectSSD != nil {
+			t.telDirectSSD.Inc()
+		}
 		t.entries[outer] = tieredEntry{warm: false, inner: res.Handle}
 		res.Handle = outer
 		return res, nil
@@ -120,6 +129,9 @@ func (t *Tiered) Store(now vclock.Time, pageBytes int64, compressRatio float64) 
 		return StoreResult{}, err
 	}
 	t.directSSD++
+	if t.telDirectSSD != nil {
+		t.telDirectSSD.Inc()
+	}
 	t.entries[outer] = tieredEntry{warm: false, inner: res.Handle}
 	res.Handle = outer
 	res.Latency += extraLat
@@ -154,6 +166,13 @@ func (t *Tiered) writebackOldest(now vclock.Time) (vclock.Duration, bool) {
 	}
 	t.entries[outer] = tieredEntry{warm: false, inner: res.Handle}
 	t.writebacks++
+	if t.telWritebacks != nil {
+		t.telWritebacks.Inc()
+	}
+	if t.trace != nil {
+		t.trace.Emit(now, trace.KindBackendWriteback, t.warm.Name(),
+			"migrated %d B pool LRU entry to %s", logical, t.cold.Name())
+	}
 	return lat, true
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 
 	"tmo/internal/dist"
+	"tmo/internal/telemetry"
 	"tmo/internal/vclock"
 )
 
@@ -90,6 +91,10 @@ type Zswap struct {
 	next     Handle
 	stats    Stats
 	rejected int64
+
+	// Registry instruments, nil until EnableTelemetry.
+	telStores, telLoads, telRejects *telemetry.Counter
+	telRatio                        *telemetry.Histogram
 }
 
 type zswapEntry struct {
@@ -128,7 +133,15 @@ func (z *Zswap) Store(now vclock.Time, pageBytes int64, compressRatio float64) (
 	stored := z.alloc.StoredSize(pageBytes, eff)
 	if z.maxPoolBytes > 0 && z.stats.StoredBytes+stored > z.maxPoolBytes {
 		z.rejected++
+		if z.telRejects != nil {
+			z.telRejects.Inc()
+		}
 		return StoreResult{}, ErrFull
+	}
+	if z.telStores != nil {
+		z.telStores.Inc()
+		// The achieved ratio: logical page size over pool bytes consumed.
+		z.telRatio.Record(float64(pageBytes) / float64(stored))
 	}
 	h := z.next
 	z.next++
@@ -154,6 +167,9 @@ func (z *Zswap) Load(now vclock.Time, h Handle) LoadResult {
 	}
 	z.release(h, e)
 	z.stats.TotalReads++
+	if z.telLoads != nil {
+		z.telLoads.Inc()
+	}
 	return LoadResult{Latency: z.decLat.Sample(z.rng), BlockIO: false}
 }
 

@@ -15,8 +15,10 @@ import (
 	"tmo/internal/backend"
 	"tmo/internal/cgroup"
 	"tmo/internal/mm"
+	"tmo/internal/psi"
 	"tmo/internal/senpai"
 	"tmo/internal/sim"
+	"tmo/internal/telemetry"
 	"tmo/internal/trace"
 	"tmo/internal/vclock"
 	"tmo/internal/workload"
@@ -122,6 +124,12 @@ type System struct {
 	// Trace collects controller decisions (the fleet-telemetry stand-in);
 	// tmosim -trace dumps it.
 	Trace *trace.Log
+	// Telemetry is the host's metrics registry; every layer publishes into
+	// it and tmosim -metrics-out dumps it.
+	Telemetry *telemetry.Registry
+	// Tracer records the span timeline (Senpai ticks, probes, kills);
+	// tmosim -trace-out exports it in Chrome trace_event format.
+	Tracer *trace.Recorder
 
 	nextAppSeed uint64
 }
@@ -202,6 +210,8 @@ func New(opts Options) *System {
 	})
 
 	sys.Trace = trace.NewLog(4096)
+	sys.Telemetry = telemetry.NewRegistry()
+	sys.Tracer = trace.NewRecorder(1 << 16)
 	if opts.Mode != ModeOff && !opts.DisableSenpai {
 		cfg := senpai.ConfigA()
 		if opts.Senpai != nil {
@@ -209,10 +219,68 @@ func New(opts Options) *System {
 		}
 		sys.Senpai = senpai.New(cfg, swap)
 		sys.Senpai.SetTrace(sys.Trace)
+		sys.Senpai.SetRecorder(sys.Tracer)
+		sys.Senpai.EnableTelemetry(sys.Telemetry)
 		sys.Server.AddController(sys.Senpai)
 	}
+	sys.wireTelemetry()
 	return sys
 }
+
+// wireTelemetry connects every layer to the system's registry and decision
+// logs: the memory manager, the device and offload backends, the simulator's
+// PSI integration, and gauge functions over quantities other layers already
+// track (host occupancy, root PSI totals, swap contents).
+func (s *System) wireTelemetry() {
+	reg := s.Telemetry
+	mgr := s.Server.Manager()
+	mgr.EnableTelemetry(reg)
+	mgr.SetTrace(s.Trace)
+	s.Server.EnableTelemetry(reg)
+	s.Device.EnableTelemetry(reg)
+	if s.Zswap != nil {
+		s.Zswap.EnableTelemetry(reg)
+	}
+	if s.Tiered != nil {
+		s.Tiered.EnableTelemetry(reg)
+		s.Tiered.SetTrace(s.Trace)
+	}
+
+	reg.GaugeFunc("host.capacity_bytes", func() float64 { return float64(mgr.HostStat().CapacityBytes) })
+	reg.GaugeFunc("host.resident_bytes", func() float64 { return float64(mgr.HostStat().ResidentBytes) })
+	reg.GaugeFunc("host.pool_bytes", func() float64 { return float64(mgr.HostStat().PoolBytes) })
+	reg.GaugeFunc("host.free_bytes", func() float64 { return float64(mgr.HostStat().FreeBytes) })
+
+	// Root PSI totals, synced to the current virtual instant on read — the
+	// pressure-file "total" fields production Senpai differences.
+	root := s.Server.Hierarchy().Root()
+	for _, res := range []struct {
+		r    psi.Resource
+		name string
+	}{{psi.Memory, "memory"}, {psi.IO, "io"}, {psi.CPU, "cpu"}} {
+		res := res
+		for _, kind := range []struct {
+			k    psi.Kind
+			name string
+		}{{psi.Some, "some"}, {psi.Full, "full"}} {
+			kind := kind
+			reg.GaugeFunc("psi."+res.name+"."+kind.name+"_total_us", func() float64 {
+				tr := root.PSI()
+				tr.Sync(s.Server.Now())
+				return float64(tr.Total(res.r, kind.k))
+			})
+		}
+	}
+
+	if sw := s.Server.Swap(); sw != nil {
+		reg.GaugeFunc("swap.stored_pages", func() float64 { return float64(sw.Stats().StoredPages) })
+		reg.GaugeFunc("swap.logical_bytes", func() float64 { return float64(sw.Stats().LogicalBytes) })
+		reg.GaugeFunc("swap.stored_bytes", func() float64 { return float64(sw.Stats().StoredBytes) })
+	}
+}
+
+// TelemetrySnapshot captures the registry's current state.
+func (s *System) TelemetrySnapshot() telemetry.Snapshot { return s.Telemetry.Snapshot() }
 
 // AddWorkload instantiates a catalog profile as a workload container and,
 // when Senpai is enabled, registers it as an offloading target.

@@ -12,6 +12,7 @@ import (
 	"tmo/internal/core"
 	"tmo/internal/mm"
 	"tmo/internal/senpai"
+	"tmo/internal/telemetry"
 	"tmo/internal/vclock"
 	"tmo/internal/workload"
 )
@@ -78,6 +79,9 @@ type runStats struct {
 	samples            int
 	oomEvents          int64
 	deviceWrittenBytes int64
+
+	// snap is the run's final telemetry-registry snapshot.
+	snap telemetry.Snapshot
 }
 
 // appResident returns the app's net resident memory including its share of
@@ -151,6 +155,7 @@ func runOne(s Spec, mode core.Mode, warm, measure vclock.Duration) runStats {
 	st.completed = app.Completed() - completedAtStart
 	st.oomEvents = sys.Metrics().OOMEvents
 	st.deviceWrittenBytes = sys.Metrics().DeviceWrittenBytes
+	st.snap = sys.TelemetrySnapshot()
 	return st
 }
 
@@ -172,6 +177,12 @@ type Measurement struct {
 	RPSRatio float64
 	// OOMEvents from the TMO run.
 	OOMEvents int64
+
+	// Telemetry-derived latency quantiles from the TMO run's registry
+	// (microseconds): page-fault stall latency and Senpai probe size.
+	FaultLatencyP50Us, FaultLatencyP99Us float64
+	MemStallP99Us                        float64
+	Refaults                             int64
 }
 
 // TaxSavingsOfTotal is the combined tax savings as a fraction of server
@@ -188,6 +199,16 @@ func Measure(spec Spec, warm, measure vclock.Duration) Measurement {
 	tmo := runOne(spec, spec.Mode, warm, measure)
 
 	m := Measurement{Spec: spec, OOMEvents: tmo.oomEvents}
+	if fl, ok := tmo.snap.Get("mm.fault_latency_us"); ok {
+		m.FaultLatencyP50Us = fl.Quantile(0.50)
+		m.FaultLatencyP99Us = fl.Quantile(0.99)
+	}
+	if ms, ok := tmo.snap.Get("psi.stall_duration_us", telemetry.Label{Key: "resource", Value: "memory"}); ok {
+		m.MemStallP99Us = ms.Quantile(0.99)
+	}
+	if rf, ok := tmo.snap.Get("mm.refaults"); ok {
+		m.Refaults = int64(rf.Value)
+	}
 	baseRes := base.appResident()
 	if baseRes > 0 {
 		saved := baseRes - tmo.appResident()

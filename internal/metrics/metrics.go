@@ -45,7 +45,12 @@ func (e *EWMA) Update(now vclock.Time, v float64) float64 {
 	if dt < 0 {
 		dt = 0
 	}
-	alpha := 1 - math.Exp(-float64(dt)/float64(e.Window))
+	// A zero Window would make alpha 1-exp(-dt/0) = NaN and poison the
+	// average forever; treat it as "no smoothing" and track v directly.
+	alpha := 1.0
+	if e.Window > 0 {
+		alpha = 1 - math.Exp(-float64(dt)/float64(e.Window))
+	}
 	e.value += alpha * (v - e.value)
 	e.lastTime = now
 	return e.value

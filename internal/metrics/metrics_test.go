@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -41,6 +42,26 @@ func TestEWMAHalfDecay(t *testing.T) {
 	want := 1 - math.Exp(-1)
 	if math.Abs(e.Value()-want) > 1e-9 {
 		t.Fatalf("after one window: %v, want %v", e.Value(), want)
+	}
+}
+
+func TestEWMAZeroWindow(t *testing.T) {
+	// Regression: a zero Window used to make alpha = 1-exp(-dt/0) = NaN,
+	// permanently poisoning the average. It must degrade to tracking the
+	// latest observation instead.
+	var e EWMA
+	e.Update(0, 5)
+	got := e.Update(vclock.Time(vclock.Second), 7)
+	if math.IsNaN(got) {
+		t.Fatalf("zero-window EWMA produced NaN")
+	}
+	if got != 7 {
+		t.Fatalf("zero-window EWMA = %v, want 7 (track latest)", got)
+	}
+	// And a subsequent update with a configured window must still work.
+	e.Window = 10 * vclock.Second
+	if v := e.Update(vclock.Time(2*vclock.Second), 9); math.IsNaN(v) || v <= 7 || v >= 9 {
+		t.Fatalf("EWMA after window restored = %v, want in (7, 9)", v)
 	}
 }
 
@@ -121,6 +142,54 @@ func TestReservoirSampling(t *testing.T) {
 	// Uniform 0..999: median should be near 500.
 	if q := r.Quantile(0.5); math.Abs(q-500) > 60 {
 		t.Fatalf("sampled median = %v, want ~500", q)
+	}
+}
+
+func TestReservoirDeterministicUnderFixedSeed(t *testing.T) {
+	// Two reservoirs fed the same stream from identically seeded sources
+	// must retain identical samples — experiment runs must be reproducible.
+	a := NewReservoir(256, dist.NewRand(42).Int64N)
+	b := NewReservoir(256, dist.NewRand(42).Int64N)
+	src := dist.NewRand(9)
+	for i := 0; i < 20000; i++ {
+		v := float64(src.Int64N(1 << 20))
+		a.Add(v)
+		b.Add(v)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("q=%v diverged: %v vs %v", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+	if a.Mean() != b.Mean() {
+		t.Fatalf("means diverged: %v vs %v", a.Mean(), b.Mean())
+	}
+}
+
+func TestReservoirQuantilesVsSortedReference(t *testing.T) {
+	// 10k samples into a 4096-slot reservoir: P50/P90/P99 must land close
+	// to the exact quantiles of the full sorted stream.
+	const n = 10000
+	r := NewReservoir(4096, dist.NewRand(11).Int64N)
+	src := dist.NewRand(13)
+	all := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		// Skewed positive distribution, like a latency stream.
+		v := float64(src.Int64N(1000))
+		v = v * v / 1000
+		r.Add(v)
+		all = append(all, v)
+	}
+	sort.Float64s(all)
+	for _, q := range []float64{0.50, 0.90, 0.99} {
+		exact := all[int(q*float64(n-1))]
+		got := r.Quantile(q)
+		// The reservoir keeps ~41% of the stream; sampling error at these
+		// quantiles should stay within a few percent of the value range.
+		tol := 0.05 * (all[n-1] - all[0])
+		if math.Abs(got-exact) > tol {
+			t.Fatalf("q=%v: reservoir %v vs exact %v (tol %v)", q, got, exact, tol)
+		}
 	}
 }
 

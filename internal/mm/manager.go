@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tmo/internal/backend"
+	"tmo/internal/trace"
 	"tmo/internal/vclock"
 )
 
@@ -90,6 +91,12 @@ type Manager struct {
 	// oomEvents counts charges that proceeded even though reclaim could
 	// not make room — situations where a real kernel would OOM-kill.
 	oomEvents int64
+
+	// tel, when set, publishes event counters and fault latencies into the
+	// host's telemetry registry; trace reports refaults and swap rejections
+	// to the decision log. Both are optional.
+	tel   *counters
+	trace *trace.Log
 }
 
 // swapClusterSize matches the kernel's default readahead cluster (2^3).
@@ -171,6 +178,9 @@ func (m *Manager) readahead(now vclock.Time, p *Page) {
 		m.dropFromCluster(q)
 		q.group.swappedPages--
 		m.readaheadIn++
+		if m.tel != nil {
+			m.tel.readaheadIns.Inc()
+		}
 		m.tryCharge(now, q.group)
 		q.state = Resident
 		q.active = false
@@ -314,6 +324,7 @@ func (m *Manager) TouchWrite(now vclock.Time, p *Page) TouchResult {
 		res.DirectReclaimStall = m.tryCharge(now, p.group)
 		m.makeResident(now, p)
 		p.dirty = true
+		m.noteFault(now, p.group, res)
 		return res
 	}
 	res := m.Touch(now, p)
@@ -326,6 +337,15 @@ func (m *Manager) TouchWrite(now vclock.Time, p *Page) TouchResult {
 // Touch simulates one access to page p at time now, handling any fault and
 // LRU bookkeeping, and returns what the accessing task experienced.
 func (m *Manager) Touch(now vclock.Time, p *Page) TouchResult {
+	res := m.touch(now, p)
+	if res.Fault {
+		m.noteFault(now, p.group, res)
+	}
+	return res
+}
+
+// touch is Touch without the telemetry publication.
+func (m *Manager) touch(now vclock.Time, p *Page) TouchResult {
 	g := p.group
 	switch p.state {
 	case Resident:
@@ -415,6 +435,9 @@ func (m *Manager) markAccessed(p *Page) {
 		p.active = true
 		p.referenced = false
 		g.lists[p.Type][1].pushHead(p)
+		if m.tel != nil {
+			m.tel.activations.Inc()
+		}
 	}
 }
 
@@ -442,10 +465,16 @@ func (m *Manager) tryCharge(now vclock.Time, g *Group) vclock.Duration {
 	}
 	need := worst.usageForLimit() + m.cfg.PageSize - worst.effectiveLimit()
 	g.stat.DirectReclaims++
+	if m.tel != nil {
+		m.tel.directReclaims.Inc()
+	}
 	res := m.reclaim(now, worst, need, true)
 	if res.ReclaimedBytes < need {
 		m.oomEvents++
 		g.stat.OOMEvents++
+		if m.tel != nil {
+			m.tel.oomEvents.Inc()
+		}
 	}
 	return res.StallTime
 }

@@ -146,6 +146,9 @@ func (m *Manager) shrinkOracle(now vclock.Time, g *Group, want int64) ReclaimRes
 	sortPagesByAge(pages)
 	res.ScannedPages = int64(len(pages))
 	g.stat.PagesScanned += int64(len(pages))
+	if m.tel != nil {
+		m.tel.pagesScanned.Add(int64(len(pages)))
+	}
 
 	var reclaimed int64
 	for _, p := range pages {
@@ -166,6 +169,7 @@ func (m *Manager) shrinkOracle(now vclock.Time, g *Group, want int64) ReclaimRes
 			if err != nil {
 				m.swapExhausted = true
 				res.SwapFull = true
+				m.noteSwapReject(now, g)
 				continue
 			}
 			lst.remove(p)
@@ -176,6 +180,9 @@ func (m *Manager) shrinkOracle(now vclock.Time, g *Group, want int64) ReclaimRes
 			g.charge(-m.cfg.PageSize)
 			g.swappedPages++
 			g.stat.SwapOuts++
+			if m.tel != nil {
+				m.tel.swapOuts.Inc()
+			}
 			m.noteSwapOut(p)
 			res.StallTime += store.Latency
 			res.ReclaimedAnon++
@@ -185,6 +192,9 @@ func (m *Manager) shrinkOracle(now vclock.Time, g *Group, want int64) ReclaimRes
 				m.cfg.FS.WritePage(now)
 				p.dirty = false
 				g.stat.FileWritebacks++
+				if m.tel != nil {
+					m.tel.fileWritebacks.Inc()
+				}
 			}
 			p.active = false
 			p.state = EvictedFile
@@ -194,6 +204,9 @@ func (m *Manager) shrinkOracle(now vclock.Time, g *Group, want int64) ReclaimRes
 			g.residentPages[File]--
 			g.charge(-m.cfg.PageSize)
 			g.stat.FileEvictions++
+			if m.tel != nil {
+				m.tel.fileEvictions.Inc()
+			}
 			res.ReclaimedFile++
 		}
 		reclaimed++
@@ -271,6 +284,9 @@ func (m *Manager) shrinkGroup(now vclock.Time, g *Group, want int64) ReclaimResu
 		}
 		res.ScannedPages++
 		g.stat.PagesScanned++
+		if m.tel != nil {
+			m.tel.pagesScanned.Inc()
+		}
 
 		if p.referenced {
 			// Second chance, kernel-style: a referenced anonymous page
@@ -294,6 +310,7 @@ func (m *Manager) shrinkGroup(now vclock.Time, g *Group, want int64) ReclaimResu
 				if errors.Is(err, backend.ErrFull) {
 					m.swapExhausted = true
 					res.SwapFull = true
+					m.noteSwapReject(now, g)
 					inactive.rotate(p)
 					continue
 				}
@@ -306,6 +323,9 @@ func (m *Manager) shrinkGroup(now vclock.Time, g *Group, want int64) ReclaimResu
 			g.charge(-m.cfg.PageSize)
 			g.swappedPages++
 			g.stat.SwapOuts++
+			if m.tel != nil {
+				m.tel.swapOuts.Inc()
+			}
 			m.noteSwapOut(p)
 			res.StallTime += store.Latency
 			res.ReclaimedAnon++
@@ -319,6 +339,9 @@ func (m *Manager) shrinkGroup(now vclock.Time, g *Group, want int64) ReclaimResu
 				m.cfg.FS.WritePage(now)
 				p.dirty = false
 				g.stat.FileWritebacks++
+				if m.tel != nil {
+					m.tel.fileWritebacks.Inc()
+				}
 			}
 			p.state = EvictedFile
 			p.shadow = g.evictions
@@ -327,6 +350,9 @@ func (m *Manager) shrinkGroup(now vclock.Time, g *Group, want int64) ReclaimResu
 			g.residentPages[File]--
 			g.charge(-m.cfg.PageSize)
 			g.stat.FileEvictions++
+			if m.tel != nil {
+				m.tel.fileEvictions.Inc()
+			}
 			res.ReclaimedFile++
 		}
 		reclaimed++

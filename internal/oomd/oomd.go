@@ -15,6 +15,7 @@ import (
 
 	"tmo/internal/cgroup"
 	"tmo/internal/psi"
+	"tmo/internal/telemetry"
 	"tmo/internal/trace"
 	"tmo/internal/vclock"
 )
@@ -81,12 +82,23 @@ type Controller struct {
 	lastKill   vclock.Time
 	hasKilled  bool
 
-	kills []KillEvent
-	trace *trace.Log
+	kills    []KillEvent
+	trace    *trace.Log
+	rec      *trace.Recorder
+	telKills *telemetry.Counter
 }
 
 // SetTrace attaches an event log the killer reports its decisions to.
 func (c *Controller) SetTrace(l *trace.Log) { c.trace = l }
+
+// SetRecorder attaches a span recorder; kills appear as instant events on
+// the exported timeline.
+func (c *Controller) SetRecorder(r *trace.Recorder) { c.rec = r }
+
+// EnableTelemetry registers the kill counter with reg.
+func (c *Controller) EnableTelemetry(reg *telemetry.Registry) {
+	c.telKills = reg.Counter("oomd.kills")
+}
 
 // New returns a controller monitoring the given domain's memory pressure
 // (typically the root group for whole-host protection).
@@ -150,6 +162,15 @@ func (c *Controller) Tick(now vclock.Time) {
 		c.lastKill = now
 		c.hasKilled = true
 		c.armed = false
+		if c.telKills != nil {
+			c.telKills.Inc()
+		}
+		if c.rec != nil {
+			c.rec.Instant(now, trace.KindOOMKill, "kill "+victim.Group.Name(), map[string]any{
+				"pressure":    pressure,
+				"freed_bytes": usage,
+			})
+		}
 		if c.trace != nil {
 			c.trace.Emit(now, trace.KindOOMKill, victim.Group.Name(),
 				"killed at %s pressure %.3f, freeing %d B", c.cfg.Kind, pressure, usage)

@@ -26,6 +26,7 @@ import (
 	"tmo/internal/backend"
 	"tmo/internal/cgroup"
 	"tmo/internal/psi"
+	"tmo/internal/telemetry"
 	"tmo/internal/trace"
 	"tmo/internal/vclock"
 )
@@ -144,10 +145,33 @@ type Controller struct {
 	tune     map[*cgroup.Group]*tuneState
 
 	trace *trace.Log
+	rec   *trace.Recorder
+
+	// Registry instruments, nil until EnableTelemetry.
+	telRuns, telReclaims, telBackoffs, telWriteRg *telemetry.Counter
+	telRequested, telReclaimed                    *telemetry.Counter
+	telProbe                                      *telemetry.Histogram
 }
 
 // SetTrace attaches an event log the controller reports its decisions to.
 func (c *Controller) SetTrace(l *trace.Log) { c.trace = l }
+
+// SetRecorder attaches a span recorder; each control interval becomes a
+// "senpai tick" span containing one probe span per target cgroup, annotated
+// with the pressures read and the reclaim issued — the exportable decision
+// timeline.
+func (c *Controller) SetRecorder(r *trace.Recorder) { c.rec = r }
+
+// EnableTelemetry registers the controller's decision counters with reg.
+func (c *Controller) EnableTelemetry(reg *telemetry.Registry) {
+	c.telRuns = reg.Counter("senpai.runs")
+	c.telReclaims = reg.Counter("senpai.reclaim_decisions")
+	c.telBackoffs = reg.Counter("senpai.backoff_decisions")
+	c.telWriteRg = reg.Counter("senpai.write_regulated_decisions")
+	c.telRequested = reg.Counter("senpai.requested_bytes")
+	c.telReclaimed = reg.Counter("senpai.reclaimed_bytes")
+	c.telProbe = reg.Histogram("senpai.probe_bytes")
+}
 
 // New returns a controller with the given configuration. swap may be nil
 // when the host runs file-only mode; it is used for write-rate regulation.
@@ -252,6 +276,22 @@ func (c *Controller) Tick(now vclock.Time) {
 		c.writeScale = 1
 	}
 
+	if c.telRuns != nil {
+		c.telRuns.Inc()
+	}
+
+	// Span layout: the whole interval is one tick span; each target's probe
+	// is a child laid out sequentially in virtual time, advanced by the
+	// synchronous cost its reclaim call reported, so siblings never overlap
+	// and Chrome-trace viewers reconstruct the nesting by time containment.
+	var tickSpan *trace.Span
+	cursor := now
+	if c.rec != nil {
+		tickSpan = c.rec.Begin(now, trace.KindSenpaiTick, "senpai tick")
+		tickSpan.Annotate("targets", len(c.targets))
+		tickSpan.Annotate("write_scale", c.writeScale)
+	}
+
 	for _, g := range c.targets {
 		cfg := c.targetConfig(g)
 		tr := g.PSI()
@@ -276,14 +316,24 @@ func (c *Controller) Tick(now vclock.Time) {
 			act.WriteLimited = writeLimited
 		}
 
+		var probe *trace.Span
+		if c.rec != nil {
+			probe = c.rec.Begin(cursor, trace.KindSenpaiReclaim, "probe "+g.Name())
+			probe.Annotate("mem_pressure", memP)
+			probe.Annotate("io_pressure", ioP)
+		}
+
 		act.Requested = reclaim
+		var reclaimStall vclock.Duration
 		if reclaim > 0 {
 			if cfg.LimitMode {
 				res := g.SetMemoryMax(now, current-reclaim)
 				act.Reclaimed = res.ReclaimedBytes
+				reclaimStall = res.StallTime
 			} else {
 				res := g.MemoryReclaim(now, reclaim)
 				act.Reclaimed = res.ReclaimedBytes
+				reclaimStall = res.StallTime
 			}
 		} else if cfg.LimitMode {
 			// Pressure at or above threshold: relieve the limit so an
@@ -293,6 +343,37 @@ func (c *Controller) Tick(now vclock.Time) {
 		c.totalRequested += act.Requested
 		c.totalReclaimed += act.Reclaimed
 		c.last[g] = act
+
+		if c.telRuns != nil {
+			c.telRequested.Add(act.Requested)
+			c.telReclaimed.Add(act.Reclaimed)
+			switch {
+			case act.WriteLimited:
+				c.telWriteRg.Inc()
+			case act.Requested == 0:
+				c.telBackoffs.Inc()
+			default:
+				c.telReclaims.Inc()
+			}
+			if act.Requested > 0 {
+				c.telProbe.Record(float64(act.Requested))
+			}
+		}
+		if probe != nil {
+			probe.Annotate("requested_bytes", act.Requested)
+			probe.Annotate("reclaimed_bytes", act.Reclaimed)
+			if act.WriteLimited {
+				probe.Annotate("write_limited", true)
+			}
+			// A probe occupies at least the nominal cost of its PSI reads
+			// so zero-reclaim backoffs remain visible on the timeline.
+			dur := reclaimStall
+			if dur < vclock.Microsecond {
+				dur = vclock.Microsecond
+			}
+			cursor = cursor.Add(dur)
+			probe.End(cursor)
+		}
 
 		if c.trace != nil {
 			switch {
@@ -308,6 +389,10 @@ func (c *Controller) Tick(now vclock.Time) {
 					act.Requested, act.Reclaimed, act.MemPressure, act.IOPressure)
 			}
 		}
+	}
+
+	if tickSpan != nil {
+		tickSpan.End(cursor)
 	}
 }
 

@@ -9,11 +9,13 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"tmo/internal/backend"
 	"tmo/internal/cgroup"
 	"tmo/internal/mm"
 	"tmo/internal/psi"
+	"tmo/internal/telemetry"
 	"tmo/internal/vclock"
 	"tmo/internal/workload"
 )
@@ -62,6 +64,25 @@ type Server struct {
 	lastResults map[*workload.App]workload.TickResult
 	lastAvgTime vclock.Time
 	ticks       int64
+
+	// Registry instruments, nil until EnableTelemetry.
+	telTicks            *telemetry.Counter
+	telTickWall         *telemetry.Histogram
+	telMemStall         *telemetry.Histogram
+	telIOStall          *telemetry.Histogram
+	telStallIntegration *telemetry.Counter
+}
+
+// EnableTelemetry registers the simulator's instruments with reg: tick
+// counts, per-tick wall-clock timing (the simulator's own overhead, in real
+// microseconds), and the PSI layer's stall-duration histograms fed from the
+// per-task stall intervals as they are integrated into the trackers.
+func (s *Server) EnableTelemetry(reg *telemetry.Registry) {
+	s.telTicks = reg.Counter("sim.ticks")
+	s.telTickWall = reg.Histogram("sim.tick_wall_us")
+	s.telMemStall = reg.Histogram("psi.stall_duration_us", telemetry.Label{Key: "resource", Value: "memory"})
+	s.telIOStall = reg.Histogram("psi.stall_duration_us", telemetry.Label{Key: "resource", Value: "io"})
+	s.telStallIntegration = reg.Counter("psi.stall_integrations")
 }
 
 // NewServer builds a server from cfg.
@@ -172,6 +193,10 @@ func (s *Server) Run(d vclock.Duration) {
 
 // step executes one tick.
 func (s *Server) step() {
+	var wallStart time.Time
+	if s.telTickWall != nil {
+		wallStart = time.Now()
+	}
 	now := s.clock.Now()
 	tick := s.cfg.TickLen
 
@@ -213,6 +238,16 @@ func (s *Server) step() {
 		for _, iv := range res.Stalls {
 			events = append(events, stallEvent{at: iv.Start, g: a.Group, mem: iv.Mem, io: iv.IO, cpu: iv.CPU, start: true})
 			events = append(events, stallEvent{at: iv.End, g: a.Group, mem: iv.Mem, io: iv.IO, cpu: iv.CPU, start: false})
+			if s.telStallIntegration != nil {
+				s.telStallIntegration.Inc()
+				d := float64(iv.End.Sub(iv.Start))
+				if iv.Mem {
+					s.telMemStall.Record(d)
+				}
+				if iv.IO {
+					s.telIOStall.Record(d)
+				}
+			}
 		}
 	}
 
@@ -265,6 +300,10 @@ func (s *Server) step() {
 		fn(next)
 	}
 	s.ticks++
+	if s.telTicks != nil {
+		s.telTicks.Inc()
+		s.telTickWall.Record(float64(time.Since(wallStart).Microseconds()))
+	}
 }
 
 // throttleFactor maps host free-memory fraction to the admitted-load factor

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tmo/internal/vclock"
+)
+
+func TestSpanNesting(t *testing.T) {
+	r := NewRecorder(16)
+	tick := r.Begin(0, KindSenpaiTick, "tick")
+	probe := r.Begin(10, KindSenpaiReclaim, "probe web")
+	probe.Annotate("mem_pressure", 0.0004)
+	reclaim := r.Begin(12, KindMMReclaim, "memory.reclaim")
+	reclaim.End(20)
+	probe.End(25)
+	r.Instant(26, KindZswapReject, "pool full", nil)
+	tick.End(30)
+
+	if r.OpenSpans() != 0 {
+		t.Fatalf("open spans = %d", r.OpenSpans())
+	}
+	recs := r.Records()
+	if len(recs) != 4 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	// Ordered by start, parents before children.
+	wantNames := []string{"tick", "probe web", "memory.reclaim", "pool full"}
+	wantDepth := []int{0, 1, 2, 1}
+	for i, rec := range recs {
+		if rec.Name != wantNames[i] || rec.Depth != wantDepth[i] {
+			t.Fatalf("record %d = %q depth %d, want %q depth %d",
+				i, rec.Name, rec.Depth, wantNames[i], wantDepth[i])
+		}
+	}
+	if recs[0].Duration() != 30 || recs[1].Duration() != 15 {
+		t.Fatalf("durations wrong: %v %v", recs[0].Duration(), recs[1].Duration())
+	}
+	if !recs[3].Instant || recs[3].Duration() != 0 {
+		t.Fatalf("instant record wrong: %+v", recs[3])
+	}
+	if recs[1].Args["mem_pressure"] != 0.0004 {
+		t.Fatalf("annotation lost: %+v", recs[1].Args)
+	}
+	// Children are contained in their parent's interval — the property
+	// Perfetto uses to reconstruct the stack on one track.
+	if recs[2].Start < recs[1].Start || recs[2].End > recs[1].End {
+		t.Fatalf("child escapes parent: %+v in %+v", recs[2], recs[1])
+	}
+}
+
+func TestSpanOutOfOrderEndPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic")
+		}
+	}()
+	r := NewRecorder(4)
+	a := r.Begin(0, KindSenpaiTick, "a")
+	_ = r.Begin(1, KindSenpaiTick, "b")
+	a.End(2) // b is still open
+}
+
+func TestSpanDoubleEndIsNoop(t *testing.T) {
+	r := NewRecorder(4)
+	a := r.Begin(0, KindSenpaiTick, "a")
+	a.End(5)
+	a.End(9) // ignored
+	if r.Len() != 1 || r.Records()[0].End != 5 {
+		t.Fatalf("double end changed the record: %+v", r.Records())
+	}
+}
+
+func TestRecorderDropsAtCapacity(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Instant(vclock.Time(i), KindMMRefault, "e", nil)
+	}
+	if r.Len() != 2 || r.Dropped() != 3 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	// The beginning of the run is preserved, not the end.
+	if r.Records()[0].Start != 0 || r.Records()[1].Start != 1 {
+		t.Fatalf("kept wrong records: %+v", r.Records())
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	r := NewRecorder(16)
+	tick := r.Begin(1000, KindSenpaiTick, "tick")
+	probe := r.Begin(1100, KindSenpaiReclaim, "probe feed")
+	probe.Annotate("requested_bytes", int64(4096))
+	probe.End(1400)
+	tick.End(1500)
+	r.Instant(1600, KindOOMKill, "kill", map[string]any{"victim": "cache-a"})
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("events = %d", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev["ph"] != "X" || ev["ts"] != float64(1000) || ev["dur"] != float64(500) {
+		t.Fatalf("tick event wrong: %+v", ev)
+	}
+	if ev["pid"] != float64(1) || ev["tid"] != float64(1) {
+		t.Fatalf("track ids wrong: %+v", ev)
+	}
+	if doc.TraceEvents[1]["cat"] != "senpai.reclaim" {
+		t.Fatalf("cat wrong: %+v", doc.TraceEvents[1])
+	}
+	inst := doc.TraceEvents[2]
+	if inst["ph"] != "i" || inst["s"] != "t" {
+		t.Fatalf("instant event wrong: %+v", inst)
+	}
+}
+
+func TestJSONLExport(t *testing.T) {
+	r := NewRecorder(16)
+	s := r.Begin(5, KindSenpaiTick, "tick")
+	s.End(25)
+	r.Instant(30, KindMMRefault, "refault", map[string]any{"group": "web"})
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	var first, second map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first["type"] != "span" || first["dur_us"] != float64(20) || first["t"] != float64(5) {
+		t.Fatalf("span line wrong: %+v", first)
+	}
+	if second["type"] != "event" || second["cat"] != "mm.refault" {
+		t.Fatalf("event line wrong: %+v", second)
+	}
+}
+
+func TestExportLogJSONL(t *testing.T) {
+	l := NewLog(8)
+	l.Emit(7, KindBackendWriteback, "tiered", "wrote back %d pages", 3)
+	var buf bytes.Buffer
+	if err := ExportLogJSONL(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	var line map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &line); err != nil {
+		t.Fatal(err)
+	}
+	if line["cat"] != "backend.writeback" || line["name"] != "tiered" {
+		t.Fatalf("line = %+v", line)
+	}
+	args, _ := line["args"].(map[string]any)
+	if args["detail"] != "wrote back 3 pages" {
+		t.Fatalf("detail lost: %+v", line)
+	}
+}

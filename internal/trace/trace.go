@@ -19,8 +19,16 @@ const (
 	KindSenpaiReclaim Kind = "senpai.reclaim"
 	KindSenpaiBackoff Kind = "senpai.backoff"
 	KindSenpaiWriteRg Kind = "senpai.write-regulated"
+	KindSenpaiTick    Kind = "senpai.tick"
 	KindOOMKill       Kind = "oomd.kill"
 	KindRestart       Kind = "workload.restart"
+	// Memory-management and backend events, promoted from ad-hoc counters
+	// so decision logs can correlate controller actions with their kernel-
+	// and device-level consequences.
+	KindMMRefault        Kind = "mm.refault"
+	KindMMReclaim        Kind = "mm.reclaim"
+	KindBackendWriteback Kind = "backend.writeback"
+	KindZswapReject      Kind = "zswap.reject"
 )
 
 // Event is one recorded decision.
@@ -31,9 +39,29 @@ type Event struct {
 	Detail  string
 }
 
-// String renders the event as one log line.
+// Column widths for the String rendering; over-long fields are truncated so
+// the detail column stays aligned regardless of subject length.
+const (
+	timeCol    = 10
+	kindCol    = 22
+	subjectCol = 18
+)
+
+// clip truncates s to width characters, marking the cut with a '~'.
+func clip(s string, width int) string {
+	if len(s) <= width {
+		return s
+	}
+	return s[:width-1] + "~"
+}
+
+// String renders the event as one log line with fixed-width columns.
 func (e Event) String() string {
-	return fmt.Sprintf("%-10s %-22s %-18s %s", e.Time, e.Kind, e.Subject, e.Detail)
+	return fmt.Sprintf("%-*s %-*s %-*s %s",
+		timeCol, clip(e.Time.String(), timeCol),
+		kindCol, clip(string(e.Kind), kindCol),
+		subjectCol, clip(e.Subject, subjectCol),
+		e.Detail)
 }
 
 // Log is a fixed-capacity ring of events. The zero value is unusable; call

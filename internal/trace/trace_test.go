@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -67,6 +68,53 @@ func TestEventString(t *testing.T) {
 	s := e.String()
 	if !strings.Contains(s, "senpai.write-regulated") || !strings.Contains(s, "ads") {
 		t.Fatalf("event string = %q", s)
+	}
+}
+
+// Total must keep counting across many full ring wraps, not reset or
+// saturate when the ring recycles slots.
+func TestTotalAcrossManyWraps(t *testing.T) {
+	const capacity = 7
+	l := NewLog(capacity)
+	const emits = capacity*100 + 3 // 100+ wraps, deliberately not a multiple
+	for i := 0; i < emits; i++ {
+		l.Emit(vclock.Time(i), KindMMRefault, "g", "%d", i)
+	}
+	if l.Total() != emits {
+		t.Fatalf("total = %d, want %d", l.Total(), emits)
+	}
+	evs := l.Events()
+	if len(evs) != capacity {
+		t.Fatalf("retained %d, want %d", len(evs), capacity)
+	}
+	for i, e := range evs {
+		if want := emits - capacity + i; e.Detail != fmt.Sprintf("%d", want) {
+			t.Fatalf("event %d = %q, want %d", i, e.Detail, want)
+		}
+	}
+}
+
+// The detail column must start at the same offset whether the subject is
+// short or over-wide; over-wide subjects are clipped, not allowed to shift
+// the columns.
+func TestEventStringAlignment(t *testing.T) {
+	short := Event{Time: 0, Kind: KindOOMKill, Subject: "web", Detail: "DETAIL"}
+	long := Event{Time: 0, Kind: KindOOMKill,
+		Subject: "workload-with-an-extremely-long-cgroup-name", Detail: "DETAIL"}
+	si, li := strings.Index(short.String(), "DETAIL"), strings.Index(long.String(), "DETAIL")
+	if si < 0 || si != li {
+		t.Fatalf("detail offsets differ: %d vs %d\n%q\n%q", si, li, short.String(), long.String())
+	}
+	if !strings.Contains(long.String(), "~") {
+		t.Fatalf("long subject not clipped: %q", long.String())
+	}
+	if strings.Contains(short.String(), "~") {
+		t.Fatalf("short subject clipped: %q", short.String())
+	}
+	// Clipping must also hold for over-wide kinds.
+	wideKind := Event{Time: 0, Kind: Kind("some.very.long.subsystem.kind.name"), Subject: "s", Detail: "DETAIL"}
+	if wi := strings.Index(wideKind.String(), "DETAIL"); wi != si {
+		t.Fatalf("wide kind shifted detail column: %d vs %d\n%q", wi, si, wideKind.String())
 	}
 }
 
