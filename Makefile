@@ -15,4 +15,4 @@ check:
 	$(MAKE) race
 
 race:
-	$(GO) test -race ./internal/telemetry ./internal/trace ./internal/metrics
+	$(GO) test -race ./internal/telemetry ./internal/trace ./internal/metrics ./internal/fleet

@@ -65,6 +65,7 @@ func main() {
 		{"autotune", func() experiments.Result { return experiments.AutoTune(cfg) }},
 		{"abl-lru", func() experiments.Result { return experiments.AblationLRUQuality(cfg) }},
 		{"fleet-het", func() experiments.Result { return experiments.FleetHeterogeneity(cfg) }},
+		{"resilience", func() experiments.Result { return experiments.Resilience(cfg) }},
 	}
 
 	ran := 0

@@ -64,27 +64,30 @@ func main() {
 	sc := senpai.ConfigA()
 	sc.ReclaimRatio *= *ratioMult
 
-	var ms []fleet.Measurement
+	// Expand the mix class-major into per-replica specs, measure the whole
+	// population over the fleet worker pool, and report per class.
+	var specs []fleet.Spec
 	for _, spec := range mix {
 		spec.Scale = *scale
 		spec.Senpai = &sc
-		var savings []float64
-		var classMeas []fleet.Measurement
 		for r := 0; r < *replicas; r++ {
 			rs := spec
 			rs.Seed = spec.Seed + uint64(r)*7919
-			m := fleet.Measure(rs, vclock.FromStd(warm), vclock.FromStd(measure))
-			classMeas = append(classMeas, m)
-			savings = append(savings, m.SavingsFrac)
+			// Weight is per class: spread it across the replicas so the
+			// fleet aggregate stays correct.
+			rs.Weight = spec.Weight / float64(*replicas)
+			specs = append(specs, rs)
 		}
-		// Weight is per class: spread it across the replicas so the
-		// fleet aggregate stays correct.
-		for i := range classMeas {
-			classMeas[i].Spec.Weight = spec.Weight / float64(*replicas)
-		}
-		ms = append(ms, classMeas...)
+	}
+	ms := fleet.MeasureAll(specs, vclock.FromStd(warm), vclock.FromStd(measure))
+	for c := 0; c < len(mix); c++ {
+		classMeas := ms[c**replicas : (c+1)**replicas]
 		fmt.Println(classMeas[0])
 		if *replicas > 1 {
+			var savings []float64
+			for _, m := range classMeas {
+				savings = append(savings, m.SavingsFrac)
+			}
 			sort.Float64s(savings)
 			fmt.Printf("  across %d replicas: savings P50 %.1f%%  P90 %.1f%%\n",
 				*replicas, 100*savings[len(savings)/2], 100*savings[(len(savings)*9)/10])

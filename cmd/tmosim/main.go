@@ -39,6 +39,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	controls := flag.Bool("controls", false, "dump cgroup control files at the end")
 	traceN := flag.Int("trace", 0, "dump the last N controller trace events at the end")
+	chaosScript := flag.String("chaos", "", `fault-injection script, e.g. "t=2m ssd-slow x4 for=5m; t=10m load x2" (see internal/chaos)`)
 	metricsOut := flag.String("metrics-out", "", "write the telemetry registry to this file in Prometheus text format")
 	traceOut := flag.String("trace-out", "", "write the decision-span timeline to this file in Chrome trace_event JSON (open in chrome://tracing or Perfetto)")
 	timelineOut := flag.String("timeline-out", "", "write the decision-span timeline to this file as JSON Lines")
@@ -83,6 +84,11 @@ func main() {
 	app := sys.AddProfile(prof, cgroup.Workload)
 	if *withTax {
 		sys.AddTax()
+	}
+	if *chaosScript != "" {
+		if err := sys.Chaos().AddScript(*chaosScript); err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("tmosim: %s on %s, %d MiB DRAM, SSD %s, %v\n\n",

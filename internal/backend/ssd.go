@@ -92,6 +92,11 @@ type SSDDevice struct {
 	// throttling) and verify the controllers adapt.
 	degradation float64
 
+	// stallUntil makes the device unresponsive until that instant: any IO
+	// issued before it waits out the remainder of the stall on top of its
+	// service time, modeling firmware garbage-collection pauses.
+	stallUntil vclock.Time
+
 	readObserver func(vclock.Duration)
 
 	// Registry instruments, nil until EnableTelemetry.
@@ -106,6 +111,49 @@ func (d *SSDDevice) SetDegradation(factor float64) {
 		factor = 1
 	}
 	d.degradation = factor
+}
+
+// InjectWear charges n bytes against the device's endurance budget without
+// performing IO — the chaos engine's stand-in for a device that arrives
+// mid-life or is shared with a write-heavy neighbour. Wear is irreversible.
+func (d *SSDDevice) InjectWear(n int64) {
+	if n > 0 {
+		d.writtenBytes += n
+	}
+}
+
+// InjectStall freezes the device until now+dur: IO issued inside the window
+// waits out its remainder. A later call may extend but never shorten an
+// active stall.
+func (d *SSDDevice) InjectStall(now vclock.Time, dur vclock.Duration) {
+	if until := now.Add(dur); until > d.stallUntil {
+		d.stallUntil = until
+	}
+}
+
+// wearFactor converts endurance overuse into a latency multiplier. Within
+// the rated budget the device behaves nominally; past it, program/erase
+// retries and shrinking spare area slow every IO, up to ~12x for a device
+// driven far beyond its pTBW rating.
+func (d *SSDDevice) wearFactor() float64 {
+	over := d.EnduranceUsed() - 1
+	if over <= 0 {
+		return 1
+	}
+	f := 1 + 6*over
+	if f > 12 {
+		f = 12
+	}
+	return f
+}
+
+// stallRemainder returns how much of an injected stall window an IO issued
+// at now must wait out.
+func (d *SSDDevice) stallRemainder(now vclock.Time) vclock.Duration {
+	if now < d.stallUntil {
+		return d.stallUntil.Sub(now)
+	}
+	return 0
 }
 
 // ObserveReads registers a callback invoked with every read's latency;
@@ -151,7 +199,8 @@ func (d *SSDDevice) Read(now vclock.Time) vclock.Duration {
 	if d.degradation > 1 {
 		f *= d.degradation
 	}
-	lat := vclock.Duration(float64(d.readLat.Sample(d.rng)) * f)
+	f *= d.wearFactor()
+	lat := vclock.Duration(float64(d.readLat.Sample(d.rng))*f) + d.stallRemainder(now)
 	if d.readObserver != nil {
 		d.readObserver(lat)
 	}
@@ -174,7 +223,8 @@ func (d *SSDDevice) Write(now vclock.Time, n int64) vclock.Duration {
 	if d.degradation > 1 {
 		f *= d.degradation
 	}
-	lat := vclock.Duration(float64(d.writeLat.Sample(d.rng)) * f)
+	f *= d.wearFactor()
+	lat := vclock.Duration(float64(d.writeLat.Sample(d.rng))*f) + d.stallRemainder(now)
 	if d.telWrites != nil {
 		d.telWrites.Inc()
 		d.telWrittenBytes.Add(n)
@@ -228,6 +278,9 @@ func NewSSDSwap(dev *SSDDevice, capacity int64) *SSDSwap {
 
 // Device exposes the underlying SSD (shared with the filesystem).
 func (s *SSDSwap) Device() *SSDDevice { return s.dev }
+
+// Capacity returns the partition size in bytes (0 = unbounded).
+func (s *SSDSwap) Capacity() int64 { return s.capacity }
 
 // Name implements SwapBackend.
 func (s *SSDSwap) Name() string { return "swap-ssd-" + s.dev.Spec.Model }

@@ -1,0 +1,204 @@
+package chaos_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tmo/internal/cgroup"
+	"tmo/internal/chaos"
+	"tmo/internal/core"
+	"tmo/internal/vclock"
+	"tmo/internal/workload"
+)
+
+// chaosScript exercises every fault class, including a seeded-random
+// recurrence (ssd-stall) whose timing must come from the engine's PCG.
+const chaosScript = "t=30s ssd-stall 300ms every=60s; " +
+	"t=1m ssd-slow x4 for=90s; " +
+	"t=1m ssd-wear 0.2 ramp=1m; " +
+	"t=2m load x1.5 ramp=30s for=1m; " +
+	"t=2m30s compress x0.5 for=1m; " +
+	"t=3m capacity x0.8 for=1m; " +
+	"t=3m30s bloat 4MiB for=1m; " +
+	"t=4m swap-fill 0.2 for=30s"
+
+// runScripted runs a chaos-perturbed host for six virtual minutes and
+// returns its telemetry snapshot (Prometheus text) and Chrome trace JSON.
+func runScripted(t *testing.T, seed uint64) (string, string) {
+	t.Helper()
+	prof := workload.MustCatalog("feed").Scale(0.5)
+	sys := core.New(core.Options{
+		Mode:          core.ModeSSDSwap,
+		CapacityBytes: 2 * prof.FootprintBytes,
+		Seed:          seed,
+	})
+	sys.AddProfile(prof, cgroup.Workload)
+	if err := sys.Chaos().AddScript(chaosScript); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(6 * vclock.Minute)
+
+	var met, tr bytes.Buffer
+	if err := sys.TelemetrySnapshot().WritePrometheus(&met); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Tracer.WriteChromeTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	return stripWallClock(met.String()), tr.String()
+}
+
+// stripWallClock removes the simulator's self-instrumentation — the one
+// histogram measuring real (wall) time per tick, which is legitimately
+// nondeterministic. Everything else in the registry is virtual-time data.
+func stripWallClock(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if !strings.Contains(line, "sim_tick_wall_us") {
+			keep = append(keep, line)
+		}
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestDeterminism: same seed and script produce byte-identical telemetry
+// and trace output; a different seed perturbs the run.
+func TestDeterminism(t *testing.T) {
+	met1, tr1 := runScripted(t, 7)
+	met2, tr2 := runScripted(t, 7)
+	if met1 != met2 {
+		t.Errorf("telemetry snapshots differ across identical runs:\n%s", firstDiffLine(met1, met2))
+	}
+	if tr1 != tr2 {
+		t.Errorf("Chrome traces differ across identical runs:\n%s", firstDiffLine(tr1, tr2))
+	}
+	_, tr3 := runScripted(t, 8)
+	if tr1 == tr3 {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+// TestChaosObservability: injected events surface in both the telemetry
+// registry and the exported Chrome trace.
+func TestChaosObservability(t *testing.T) {
+	met, tr := runScripted(t, 7)
+	for _, want := range []string{
+		`chaos_injections{fault="ssd-slow"}`,
+		`chaos_injections{fault="load"}`,
+		`chaos_restores{fault="ssd-slow"}`,
+		"chaos_applies",
+	} {
+		if !strings.Contains(met, want) {
+			t.Errorf("telemetry snapshot missing %q", want)
+		}
+	}
+	for _, want := range []string{`"chaos.inject"`, `"chaos.restore"`, `"ph":"i"`, `"level"`} {
+		if !strings.Contains(tr, want) {
+			t.Errorf("Chrome trace missing %q", want)
+		}
+	}
+}
+
+// TestScheduleShapes drives the engine directly and checks each schedule
+// form's level curve.
+func TestScheduleShapes(t *testing.T) {
+	type call struct {
+		at  vclock.Time
+		lvl float64
+	}
+	var calls []call
+	record := chaos.FaultFunc("probe", func(now vclock.Time, level float64) {
+		calls = append(calls, call{now, level})
+	})
+
+	t0 := vclock.Time(0)
+	tick := vclock.Second
+
+	// One-shot step: on at 30s, off at 90s, never again.
+	e := chaos.NewEngine(chaos.Host{Seed: 1})
+	e.Add("step", record, chaos.Schedule{At: t0.Add(30 * vclock.Second), Dur: vclock.Minute})
+	for now := t0; now < t0.Add(3*vclock.Minute); now = now.Add(tick) {
+		e.Tick(now)
+	}
+	if len(calls) != 2 {
+		t.Fatalf("step schedule made %d Set calls, want 2 (inject+restore): %v", len(calls), calls)
+	}
+	if calls[0].lvl != 1 || calls[0].at != t0.Add(30*vclock.Second) {
+		t.Errorf("inject wrong: %+v", calls[0])
+	}
+	if calls[1].lvl != 0 || calls[1].at != t0.Add(90*vclock.Second) {
+		t.Errorf("restore wrong: %+v", calls[1])
+	}
+
+	// Ramp: level rises monotonically from 0 to 1 over the ramp.
+	calls = nil
+	e = chaos.NewEngine(chaos.Host{Seed: 1})
+	e.Add("ramp", record, chaos.Schedule{At: t0.Add(10 * vclock.Second), Ramp: vclock.Minute, Dur: 10 * vclock.Second})
+	for now := t0; now < t0.Add(2*vclock.Minute); now = now.Add(tick) {
+		e.Tick(now)
+	}
+	if len(calls) < 10 {
+		t.Fatalf("ramp made only %d Set calls", len(calls))
+	}
+	last := -1.0
+	for _, c := range calls[:len(calls)-1] { // all but the final restore
+		if c.lvl < last {
+			t.Fatalf("ramp level decreased mid-ramp: %+v", calls)
+		}
+		last = c.lvl
+	}
+	if calls[len(calls)-1].lvl != 0 {
+		t.Errorf("ramp never restored: %+v", calls[len(calls)-1])
+	}
+
+	// Recurrence: multiple inject/restore pairs, gaps from the seeded PCG.
+	calls = nil
+	e = chaos.NewEngine(chaos.Host{Seed: 1})
+	e.Add("recur", record, chaos.Schedule{At: t0.Add(10 * vclock.Second), Dur: 20 * vclock.Second, Every: vclock.Minute})
+	for now := t0; now < t0.Add(20*vclock.Minute); now = now.Add(tick) {
+		e.Tick(now)
+	}
+	var injects int
+	for _, c := range calls {
+		if c.lvl == 1 {
+			injects++
+		}
+	}
+	if injects < 3 {
+		t.Errorf("recurring schedule injected only %d times in 20m", injects)
+	}
+}
+
+// TestScriptErrors: malformed clauses and faults lacking their host surface
+// are rejected up front.
+func TestScriptErrors(t *testing.T) {
+	e := chaos.NewEngine(chaos.Host{}) // no device, no swap, no manager
+	for _, bad := range []string{
+		"t=1m nosuch x2",
+		"ssd-slow x2",
+		"t=1m ssd-slow x2",   // needs an SSD device
+		"t=1m swap-fill 0.5", // needs a swap backend
+		"t=-1m load x2",
+		"t=1m load x2 for=bogus",
+		"t=1m capacity x1.5", // capacity factor must be in (0,1]
+	} {
+		if err := e.AddScript(bad); err == nil {
+			t.Errorf("AddScript(%q) succeeded, want error", bad)
+		}
+	}
+	if e.Events() != 0 {
+		t.Errorf("rejected clauses left %d events armed", e.Events())
+	}
+}
+
+// firstDiffLine locates the first differing line between two dumps.
+func firstDiffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "line " + al[i] + "\n  vs " + bl[i]
+		}
+	}
+	return "length mismatch"
+}

@@ -14,6 +14,7 @@ import (
 
 	"tmo/internal/backend"
 	"tmo/internal/cgroup"
+	"tmo/internal/chaos"
 	"tmo/internal/mm"
 	"tmo/internal/psi"
 	"tmo/internal/senpai"
@@ -131,6 +132,7 @@ type System struct {
 	// tmosim -trace-out exports it in Chrome trace_event format.
 	Tracer *trace.Recorder
 
+	chaosEng    *chaos.Engine
 	nextAppSeed uint64
 }
 
@@ -277,6 +279,39 @@ func (s *System) wireTelemetry() {
 		reg.GaugeFunc("swap.logical_bytes", func() float64 { return float64(sw.Stats().LogicalBytes) })
 		reg.GaugeFunc("swap.stored_bytes", func() float64 { return float64(sw.Stats().StoredBytes) })
 	}
+}
+
+// Chaos returns the system's fault-injection engine, creating and
+// registering it on first use: its Tick runs at the start of every
+// simulation tick, and its events land in the system's telemetry registry,
+// decision log, and span timeline.
+func (s *System) Chaos() *chaos.Engine {
+	if s.chaosEng == nil {
+		var swapCap int64
+		switch {
+		case s.Tiered != nil:
+			swapCap = s.Zswap.MaxPoolBytes() + s.SSDSwap.Capacity()
+		case s.SSDSwap != nil:
+			swapCap = s.SSDSwap.Capacity()
+		case s.Zswap != nil:
+			swapCap = s.Zswap.MaxPoolBytes()
+		case s.NVM != nil:
+			swapCap = s.Opts.SwapBytes
+		}
+		s.chaosEng = chaos.NewEngine(chaos.Host{
+			Device:            s.Device,
+			Manager:           s.Server.Manager(),
+			Swap:              s.Server.Swap(),
+			SwapCapacityBytes: swapCap,
+			Apps:              s.Server.Apps,
+			Seed:              s.Opts.Seed ^ 0xc4a05c4a05,
+			Telemetry:         s.Telemetry,
+			Trace:             s.Trace,
+			Recorder:          s.Tracer,
+		})
+		s.Server.OnTickStart(s.chaosEng.Tick)
+	}
+	return s.chaosEng
 }
 
 // TelemetrySnapshot captures the registry's current state.

@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tmo/internal/cgroup"
+	"tmo/internal/core"
+	"tmo/internal/metrics"
+	"tmo/internal/psi"
+	"tmo/internal/senpai"
+	"tmo/internal/textplot"
+	"tmo/internal/vclock"
+	"tmo/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Resilience scorecard: chaos-injected faults vs the Senpai control loop.
+//
+// TMO's robustness story — PSI feedback absorbs slow devices (Fig. 12),
+// wearing devices (§4.2, Fig. 14), load shifts, and noisy neighbours — is
+// asserted by the paper but never stressed by the steady-state experiments
+// in this repository. This suite injects each fault class with the chaos
+// engine against two arms on identical hardware and seeds:
+//
+//   - senpai: the TMO control loop (PSI-driven proactive reclaim)
+//   - baseline: the uncontrolled alternative — static provisioning (a fixed
+//     memory.max sized to the same offload depth, the strawman TMO replaces)
+//     or, for capacity loss, a host with no offloading at all
+//
+// and scores recovery: PSI overshoot, time back under the pressure
+// threshold, RPS dip depth, and OOM avoidance.
+
+// ResilienceArm is one run's post-fault scorecard.
+type ResilienceArm struct {
+	Name string
+	// Pressure is the workload's windowed memory-some pressure series; RPS
+	// its request-rate series.
+	Pressure, RPS *metrics.Series
+	// PrePressure / PreRPS are means over the window just before the fault.
+	PrePressure, PreRPS float64
+	// PeakPressure is the worst windowed pressure after injection.
+	PeakPressure float64
+	// SteadyPressure is the mean pressure over the final stretch of the
+	// recovery window — where the run settled.
+	SteadyPressure float64
+	// RecoveryTime is how long after injection pressure returned below the
+	// threshold for good; the full window if it never did.
+	RecoveryTime vclock.Duration
+	// RPSDipFrac is the deepest post-fault throughput relative to the
+	// pre-fault mean (1.0 = no dip).
+	RPSDipFrac float64
+	// OOMKills counts overcommit events after injection.
+	OOMKills int64
+	// Recovered reports pressure back under threshold with no OOM kills.
+	Recovered bool
+}
+
+// ResilienceOutcome compares the two arms for one fault class.
+type ResilienceOutcome struct {
+	// Name is the fault class ("slow-device", "capacity-loss", ...).
+	Name string
+	// Script is the injected chaos script.
+	Script string
+	// Baseline and Senpai are the uncontrolled and controlled arms.
+	Baseline, Senpai ResilienceArm
+}
+
+// ResilienceResult carries the whole scorecard.
+type ResilienceResult struct {
+	Outcomes []ResilienceOutcome
+	// Threshold is the pressure level an arm must settle below to count as
+	// recovered.
+	Threshold float64
+	// FaultAt and Window are the injection instant and recovery window.
+	FaultAt, Window vclock.Duration
+}
+
+// resilienceThreshold is the recovered-pressure bar: comfortably above
+// Senpai's own operating target (ConfigA holds ~0.1% memory-some) and far
+// below what a wedged host sustains.
+const resilienceThreshold = 0.01
+
+// resilienceScenario describes one fault class.
+type resilienceScenario struct {
+	name     string
+	app      string
+	mode     core.Mode
+	baseline string // "static" (fixed memory.max, no controller) or "off"
+	// script builds the chaos clause(s) given the injection time and host
+	// capacity (for size arguments).
+	script func(at vclock.Duration, capacity int64) string
+}
+
+// staticLimitFrac sizes the static baseline's memory.max relative to the
+// app footprint, matching the offload depth Senpai converges to so the two
+// arms start from comparable savings.
+const staticLimitFrac = 0.65
+
+// resilienceScenarios lists the suite: the four regression-gated classes
+// first, then scorecard-only extras.
+func resilienceScenarios() []resilienceScenario {
+	return []resilienceScenario{
+		{
+			name: "slow-device", app: "feed", mode: core.ModeSSDSwap, baseline: "static",
+			script: func(at vclock.Duration, _ int64) string {
+				return fmt.Sprintf("t=%s ssd-slow x8", at)
+			},
+		},
+		{
+			name: "wear-out", app: "feed", mode: core.ModeSSDSwap, baseline: "static",
+			script: func(at vclock.Duration, _ int64) string {
+				// 1.75 lifetimes over a 2m ramp: the device crosses its
+				// rated pTBW mid-run and IO latency degrades ~5.5x.
+				return fmt.Sprintf("t=%s ssd-wear 1.75 ramp=2m", at)
+			},
+		},
+		{
+			name: "load-surge", app: "cache-b", mode: core.ModeZswap, baseline: "static",
+			script: func(at vclock.Duration, _ int64) string {
+				return fmt.Sprintf("t=%s load x2.5", at)
+			},
+		},
+		{
+			name: "capacity-loss", app: "feed", mode: core.ModeZswap, baseline: "off",
+			script: func(at vclock.Duration, _ int64) string {
+				// x0.42 drops host DRAM below feed's anon residency: without
+				// swap the anon pages have nowhere to go; with zswap the
+				// ~3x-compressible anon still fits.
+				return fmt.Sprintf("t=%s capacity x0.42 ramp=1m", at)
+			},
+		},
+		{
+			name: "compress-drift", app: "cache-b", mode: core.ModeZswap, baseline: "static",
+			script: func(at vclock.Duration, _ int64) string {
+				return fmt.Sprintf("t=%s compress x0.3 ramp=2m", at)
+			},
+		},
+		{
+			name: "stall-storm", app: "feed", mode: core.ModeSSDSwap, baseline: "static",
+			script: func(at vclock.Duration, _ int64) string {
+				return fmt.Sprintf("t=%s ssd-stall 2s every=60s for=5s", at)
+			},
+		},
+		{
+			name: "sidecar-bloat", app: "cache-a", mode: core.ModeZswap, baseline: "static",
+			script: func(at vclock.Duration, capacity int64) string {
+				return fmt.Sprintf("t=%s bloat %dB ramp=2m", at, capacity/4)
+			},
+		},
+	}
+}
+
+// Resilience runs the full scorecard.
+func Resilience(cfg Config) ResilienceResult {
+	faultAt := cfg.dur(40*vclock.Minute, 8*vclock.Minute)
+	window := cfg.dur(30*vclock.Minute, 10*vclock.Minute)
+	res := ResilienceResult{Threshold: resilienceThreshold, FaultAt: faultAt, Window: window}
+	for i, sc := range resilienceScenarios() {
+		res.Outcomes = append(res.Outcomes, runResilience(cfg, sc, uint64(i), faultAt, window))
+	}
+	return res
+}
+
+// ResilienceClass runs one named fault class (the regression test uses this
+// to keep per-class timing visible).
+func ResilienceClass(cfg Config, name string) (ResilienceOutcome, error) {
+	faultAt := cfg.dur(40*vclock.Minute, 8*vclock.Minute)
+	window := cfg.dur(30*vclock.Minute, 10*vclock.Minute)
+	for i, sc := range resilienceScenarios() {
+		if sc.name == name {
+			return runResilience(cfg, sc, uint64(i), faultAt, window), nil
+		}
+	}
+	return ResilienceOutcome{}, fmt.Errorf("experiments: unknown resilience class %q", name)
+}
+
+// runResilience executes one scenario's two arms.
+func runResilience(cfg Config, sc resilienceScenario, idx uint64, faultAt, window vclock.Duration) ResilienceOutcome {
+	p := cfg.profile(sc.app)
+	capacity := int64(1.5 * float64(p.FootprintBytes))
+	script := sc.script(faultAt, capacity)
+	out := ResilienceOutcome{Name: sc.name, Script: script}
+	out.Senpai = runResilienceArm(cfg, sc, p, capacity, script, idx, faultAt, window, true)
+	out.Baseline = runResilienceArm(cfg, sc, p, capacity, script, idx, faultAt, window, false)
+	return out
+}
+
+// runResilienceArm runs one arm of one scenario and scores it.
+func runResilienceArm(cfg Config, sc resilienceScenario, p workload.Profile, capacity int64,
+	script string, idx uint64, faultAt, window vclock.Duration, controlled bool) ResilienceArm {
+
+	opts := core.Options{
+		Mode:          sc.mode,
+		CapacityBytes: capacity,
+		Seed:          cfg.Seed + 9100 + idx*37,
+	}
+	arm := ResilienceArm{Name: "baseline"}
+	switch {
+	case controlled:
+		arm.Name = "senpai"
+		opts.Senpai = cfg.senpai(senpai.ConfigA())
+	case sc.baseline == "off":
+		opts.Mode = core.ModeOff
+	default: // static provisioning: same backend, fixed limit, no feedback
+		opts.DisableSenpai = true
+	}
+	sys := core.New(opts)
+	app := sys.AddProfile(p, cgroup.Workload)
+	if !controlled && sc.baseline == "static" {
+		app.Group.SetMemoryMax(sys.Server.Now(), int64(staticLimitFrac*float64(p.FootprintBytes)))
+	}
+	if err := sys.Chaos().AddScript(script); err != nil {
+		panic("experiments: " + err.Error())
+	}
+
+	tr := app.Group.PSI()
+	pr := newPressureRate(arm.Name+".pressure", func() vclock.Duration {
+		tr.Sync(sys.Server.Now())
+		return tr.Total(psi.Memory, psi.Some)
+	})
+	arm.Pressure = pr.series
+	rps := newCounterRate(arm.Name+".rps", app.Completed)
+	arm.RPS = rps.series
+	s := newSampler(5 * vclock.Second)
+	s.add(pr.sample)
+	s.add(rps.sample)
+	sys.Server.OnTick(s.onTick)
+
+	sys.Run(faultAt)
+	t1 := sys.Server.Now()
+	oomsAtFault := sys.Metrics().OOMEvents
+	sys.Run(window)
+	t2 := sys.Server.Now()
+
+	pre := 3 * vclock.Minute
+	arm.PrePressure = arm.Pressure.MeanOver(t1.Add(-pre), t1)
+	arm.PreRPS = arm.RPS.MeanOver(t1.Add(-pre), t1)
+	arm.PeakPressure = arm.Pressure.MaxOver(t1, t2)
+	tail := window / 4
+	if tail > 3*vclock.Minute {
+		tail = 3 * vclock.Minute
+	}
+	arm.SteadyPressure = arm.Pressure.MeanOver(t2.Add(-tail), t2)
+	arm.RecoveryTime = recoveryTime(arm.Pressure, t1, t2, resilienceThreshold)
+	if arm.PreRPS > 0 {
+		arm.RPSDipFrac = arm.RPS.MinOver(t1.Add(10*vclock.Second), t2) / arm.PreRPS
+	}
+	arm.OOMKills = sys.Metrics().OOMEvents - oomsAtFault
+	arm.Recovered = arm.SteadyPressure < resilienceThreshold && arm.OOMKills == 0
+	return arm
+}
+
+// recoveryTime finds how long after `from` the series dropped below
+// threshold for good: the first instant from which every smoothing window
+// (1 minute) through `to` stays below. Returns the full span if pressure
+// never settles.
+func recoveryTime(s *metrics.Series, from, to vclock.Time, threshold float64) vclock.Duration {
+	const smooth = vclock.Minute
+	peakAt := from
+	peak := -1.0
+	for _, pt := range s.Points {
+		if pt.T < from || pt.T > to {
+			continue
+		}
+		if pt.V > peak {
+			peak, peakAt = pt.V, pt.T
+		}
+	}
+	if peak < threshold {
+		return 0 // the fault never pushed pressure over the bar
+	}
+	for _, pt := range s.Points {
+		if pt.T <= peakAt || pt.T > to {
+			continue
+		}
+		end := pt.T.Add(smooth)
+		if end > to {
+			end = to
+		}
+		if s.MeanOver(pt.T, end) < threshold && s.MaxOver(end, to) < threshold {
+			return pt.T.Sub(from)
+		}
+	}
+	return to.Sub(from)
+}
+
+// Render implements Result.
+func (r ResilienceResult) Render() string {
+	out := fmt.Sprintf("Resilience scorecard: fault injected at %s, %s recovery window, threshold %.1f%% mem-some\n",
+		r.FaultAt, r.Window, 100*r.Threshold)
+	rows := [][]string{{"fault", "arm", "peak psi", "steady psi", "recovery", "rps dip", "ooms", "recovered"}}
+	for _, o := range r.Outcomes {
+		for _, arm := range []ResilienceArm{o.Senpai, o.Baseline} {
+			rec := "no"
+			if arm.Recovered {
+				rec = "yes"
+			}
+			rows = append(rows, []string{
+				o.Name, arm.Name,
+				fmt.Sprintf("%.2f%%", 100*arm.PeakPressure),
+				fmt.Sprintf("%.2f%%", 100*arm.SteadyPressure),
+				arm.RecoveryTime.String(),
+				fmt.Sprintf("%.2f", arm.RPSDipFrac),
+				fmt.Sprintf("%d", arm.OOMKills),
+				rec,
+			})
+		}
+	}
+	out += textplot.Table(rows)
+	for _, o := range r.Outcomes {
+		out += fmt.Sprintf("\n%s: %s\n", o.Name, o.Script)
+	}
+	return out
+}
+
+var _ Result = ResilienceResult{}

@@ -175,12 +175,11 @@ func Figure10(cfg Config) Figure10Result {
 	if cfg.Quick {
 		mix = mix[:4]
 	}
-	var ms []fleet.Measurement
-	for _, spec := range mix {
-		spec.Senpai = cfg.senpai(senpai.ConfigA())
-		spec.Scale = cfg.scale()
-		ms = append(ms, fleet.Measure(spec, warm, measure))
+	for i := range mix {
+		mix[i].Senpai = cfg.senpai(senpai.ConfigA())
+		mix[i].Scale = cfg.scale()
 	}
+	ms := fleet.MeasureAll(mix, warm, measure)
 	dc, micro := fleet.WeightedTaxSavings(ms)
 
 	// Characterise the before shares from the same mix.

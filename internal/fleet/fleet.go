@@ -7,6 +7,8 @@ package fleet
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"tmo/internal/cgroup"
 	"tmo/internal/core"
@@ -71,14 +73,14 @@ func (s Spec) appProfile() workload.Profile {
 // window: time-averaged resident bytes by group kind and page type, plus
 // request throughput.
 type runStats struct {
-	appAnon, appFile   float64
-	dcTax, microTax    float64
-	poolForApp         float64
-	poolForTax         float64
-	completed          int64
-	samples            int
-	oomEvents          int64
-	deviceWrittenBytes int64
+	appAnon, appFile        float64
+	dcTax, microTax         float64
+	poolForApp              float64
+	poolForDC, poolForMicro float64
+	completed               int64
+	samples                 int
+	oomEvents               int64
+	deviceWrittenBytes      int64
 
 	// snap is the run's final telemetry-registry snapshot.
 	snap telemetry.Snapshot
@@ -127,16 +129,18 @@ func runOne(s Spec, mode core.Mode, warm, measure vclock.Duration) runStats {
 		pool := float64(sys.Metrics().PoolBytes)
 		if pool > 0 {
 			// Attribute the compressed pool to groups by their share of
-			// offloaded pages.
+			// offloaded pages, each tax sidecar getting its own share.
 			total := app.Group.MM().SwappedBytes()
-			taxSwapped := int64(0)
+			dcSw, microSw := int64(0), int64(0)
 			if dc != nil {
-				taxSwapped = dc.Group.MM().SwappedBytes() + micro.Group.MM().SwappedBytes()
-				total += taxSwapped
+				dcSw = dc.Group.MM().SwappedBytes()
+				microSw = micro.Group.MM().SwappedBytes()
+				total += dcSw + microSw
 			}
 			if total > 0 {
 				st.poolForApp += pool * float64(app.Group.MM().SwappedBytes()) / float64(total)
-				st.poolForTax += pool * float64(taxSwapped) / float64(total)
+				st.poolForDC += pool * float64(dcSw) / float64(total)
+				st.poolForMicro += pool * float64(microSw) / float64(total)
 			}
 		}
 		if dc != nil {
@@ -151,7 +155,8 @@ func runOne(s Spec, mode core.Mode, warm, measure vclock.Duration) runStats {
 	st.dcTax /= n
 	st.microTax /= n
 	st.poolForApp /= n
-	st.poolForTax /= n
+	st.poolForDC /= n
+	st.poolForMicro /= n
 	st.completed = app.Completed() - completedAtStart
 	st.oomEvents = sys.Metrics().OOMEvents
 	st.deviceWrittenBytes = sys.Metrics().DeviceWrittenBytes
@@ -192,11 +197,24 @@ func (m Measurement) TaxSavingsOfTotal() float64 {
 }
 
 // Measure runs the spec's A/B pair and reports savings. warm should cover
-// startup transients; measure is the averaging window.
+// startup transients; measure is the averaging window. The baseline and
+// TMO servers are fully independent simulations, so the pair runs
+// concurrently; results are deterministic because each server has its own
+// seeded streams.
 func Measure(spec Spec, warm, measure vclock.Duration) Measurement {
 	spec = spec.normalize()
-	base := runOne(spec, core.ModeOff, warm, measure)
-	tmo := runOne(spec, spec.Mode, warm, measure)
+	var base, tmo runStats
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		base = runOne(spec, core.ModeOff, warm, measure)
+	}()
+	go func() {
+		defer wg.Done()
+		tmo = runOne(spec, spec.Mode, warm, measure)
+	}()
+	wg.Wait()
 
 	m := Measurement{Spec: spec, OOMEvents: tmo.oomEvents}
 	if fl, ok := tmo.snap.Get("mm.fault_latency_us"); ok {
@@ -217,14 +235,55 @@ func Measure(spec Spec, warm, measure vclock.Duration) Measurement {
 		m.FileSavedFrac = (base.appFile - tmo.appFile) / baseRes
 	}
 	if spec.WithTax {
+		// Each sidecar carries exactly the pool overhead its own offloaded
+		// pages consume, not an even split.
 		cap := float64(spec.CapacityBytes)
-		m.DCTaxSavingsOfTotal = (base.dcTax - tmo.dcTax - tmo.poolForTax/2) / cap
-		m.MicroTaxSavingsOfTotal = (base.microTax - tmo.microTax - tmo.poolForTax/2) / cap
+		m.DCTaxSavingsOfTotal = (base.dcTax - tmo.dcTax - tmo.poolForDC) / cap
+		m.MicroTaxSavingsOfTotal = (base.microTax - tmo.microTax - tmo.poolForMicro) / cap
 	}
 	if base.completed > 0 {
 		m.RPSRatio = float64(tmo.completed) / float64(base.completed)
 	}
 	return m
+}
+
+// measureWorkers bounds MeasureAll's pool; each measurement already runs
+// its A/B pair concurrently, so a handful of slots saturates most hosts.
+const measureWorkers = 4
+
+// MeasureAll measures every spec over a small worker pool and returns the
+// measurements in spec order. Each spec's simulation is self-contained and
+// seeded, and results are written by index, so the output is identical to
+// calling Measure sequentially.
+func MeasureAll(specs []Spec, warm, measure vclock.Duration) []Measurement {
+	out := make([]Measurement, len(specs))
+	workers := runtime.NumCPU()
+	if workers > measureWorkers {
+		workers = measureWorkers
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = Measure(specs[i], warm, measure)
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
 }
 
 // WeightedTaxSavings aggregates tax savings across a fleet mix, returning

@@ -232,6 +232,21 @@ func (m *Manager) SetLimit(now vclock.Time, g *Group, limit int64) ReclaimResult
 	return ReclaimResult{}
 }
 
+// SetCapacity changes host DRAM to bytes at runtime — a ballooning
+// neighbour or hotplug event shrinking (or restoring) the memory actually
+// available to this host. Shrinking below current usage reclaims the excess
+// synchronously from the root, exactly as if the root's memory.max dropped.
+func (m *Manager) SetCapacity(now vclock.Time, bytes int64) ReclaimResult {
+	if bytes <= 0 {
+		panic("mm: SetCapacity requires positive bytes")
+	}
+	m.cfg.CapacityBytes = bytes
+	if over := m.root.usageForLimit() - bytes; over > 0 {
+		return m.reclaim(now, m.root, over, false)
+	}
+	return ReclaimResult{}
+}
+
 // ProactiveReclaim is the memory.reclaim control file (§3.3): it asks the
 // kernel to reclaim the given number of bytes from g's subtree without
 // changing any limit. This is the stateless knob Senpai drives.

@@ -57,9 +57,10 @@ type Server struct {
 	h     *cgroup.Hierarchy
 	fs    *backend.Filesystem
 
-	apps        []*workload.App
-	controllers []Controller
-	observers   []func(now vclock.Time)
+	apps         []*workload.App
+	controllers  []Controller
+	observers    []func(now vclock.Time)
+	preObservers []func(now vclock.Time)
 
 	lastResults map[*workload.App]workload.TickResult
 	lastAvgTime vclock.Time
@@ -167,6 +168,14 @@ func (s *Server) AddController(c Controller) { s.controllers = append(s.controll
 // harnesses record their panel series from these.
 func (s *Server) OnTick(fn func(now vclock.Time)) { s.observers = append(s.observers, fn) }
 
+// OnTickStart registers an observer called at the start of each tick,
+// before any request is served — the injection point for perturbations that
+// must take effect ahead of the tick's workload activity (the chaos
+// engine's hook).
+func (s *Server) OnTickStart(fn func(now vclock.Time)) {
+	s.preObservers = append(s.preObservers, fn)
+}
+
 // LastResult returns the given app's most recent tick outcome.
 func (s *Server) LastResult(a *workload.App) workload.TickResult { return s.lastResults[a] }
 
@@ -199,6 +208,10 @@ func (s *Server) step() {
 	}
 	now := s.clock.Now()
 	tick := s.cfg.TickLen
+
+	for _, fn := range s.preObservers {
+		fn(now)
+	}
 
 	// Self-throttling apps read host headroom at tick start.
 	host := s.mgr.HostStat()

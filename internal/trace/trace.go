@@ -29,6 +29,10 @@ const (
 	KindMMReclaim        Kind = "mm.reclaim"
 	KindBackendWriteback Kind = "backend.writeback"
 	KindZswapReject      Kind = "zswap.reject"
+	// Chaos-engine perturbations: a fault going active and returning to
+	// nominal, logged next to the controller reactions they provoke.
+	KindChaosInject  Kind = "chaos.inject"
+	KindChaosRestore Kind = "chaos.restore"
 )
 
 // Event is one recorded decision.

@@ -53,9 +53,16 @@ type App struct {
 
 	fileFootprintPages int64
 
+	// bloatPages is extra anonymous memory injected by the chaos engine
+	// (a leaking sidecar); it is resident but never touched again, so it
+	// is exactly the cold memory an offloading controller should absorb.
+	bloatPages []*mm.Page
+
 	carry    []vclock.Duration // per-worker overrun debt
 	admitted float64
 	cpuShare float64 // CPU time share granted by the scheduler, (0, 1]
+	load     float64 // demand multiplier on per-request touch rates
+	compress float64 // current page compressibility (chaos can drift it)
 
 	lastShift   vclock.Time
 	phaseShifts int64
@@ -84,6 +91,8 @@ func NewApp(p Profile, g *cgroup.Group, mgr *mm.Manager, seed uint64) *App {
 		rng:      dist.NewRand(seed),
 		admitted: 1,
 		cpuShare: 1,
+		load:     1,
+		compress: p.Compressibility,
 		carry:    make([]vclock.Duration, p.Workers),
 	}
 	a.latencies = metrics.NewReservoir(4096, dist.NewRand(seed^0x5a5a).Int64N)
@@ -164,6 +173,8 @@ func (a *App) Restart(now vclock.Time) {
 		a.mgr.FreePages(pages)
 	}
 	a.mgr.FreePages(a.streamPages)
+	a.mgr.FreePages(a.bloatPages)
+	a.bloatPages = nil
 	for i := range a.accum {
 		a.accum[i] = 0
 	}
@@ -190,6 +201,76 @@ func (a *App) SetAdmitted(f float64) {
 
 // Admitted returns the current admission factor.
 func (a *App) Admitted() float64 { return a.admitted }
+
+// SetLoadFactor scales the app's per-request memory demand (page touches,
+// lazy growth, streaming) by f: a traffic surge touches more of the working
+// set per unit time, a lull touches less. Unlike SetAdmitted it does not
+// change how many requests the workers serve, so RPS stays comparable
+// across the perturbation and the effect is purely on memory heat.
+func (a *App) SetLoadFactor(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	a.load = f
+}
+
+// LoadFactor returns the current demand multiplier.
+func (a *App) LoadFactor() float64 { return a.load }
+
+// SetCompressibility rewrites the compressibility of every page the app
+// owns (and of future bloat pages) to ratio, modeling content drift — e.g.
+// a cache refilling with already-compressed media. Pages currently held in
+// a compressed pool keep their stored size until they cycle through it.
+func (a *App) SetCompressibility(ratio float64) {
+	if ratio < 1 {
+		ratio = 1
+	}
+	a.compress = ratio
+	for _, pages := range a.classPages {
+		for _, pg := range pages {
+			pg.Compressibility = ratio
+		}
+	}
+	for _, pg := range a.streamPages {
+		pg.Compressibility = ratio
+	}
+	for _, pg := range a.bloatPages {
+		pg.Compressibility = ratio
+	}
+}
+
+// Compressibility returns the app's current page compressibility.
+func (a *App) Compressibility() float64 { return a.compress }
+
+// SetBloat grows or shrinks the app's injected cold anonymous memory to
+// bytes, touching new pages once so they are resident. The chaos engine
+// drives this to model a leaking or bloated sidecar.
+func (a *App) SetBloat(now vclock.Time, bytes int64) {
+	if a.killed {
+		return
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	pageSize := a.mgr.Config().PageSize
+	target := int(bytes / pageSize)
+	if target > len(a.bloatPages) {
+		grown := a.mgr.NewPages(a.Group.MM(), mm.Anon, target-len(a.bloatPages), a.compress)
+		for _, pg := range grown {
+			a.mgr.Touch(now, pg)
+		}
+		a.bloatPages = append(a.bloatPages, grown...)
+	} else if target < len(a.bloatPages) {
+		a.mgr.FreePages(a.bloatPages[target:])
+		a.bloatPages = a.bloatPages[:target]
+	}
+}
+
+// BloatBytes returns the current injected-bloat footprint (resident or
+// offloaded).
+func (a *App) BloatBytes() int64 {
+	return int64(len(a.bloatPages)) * a.mgr.Config().PageSize
+}
 
 // SetCPUShare sets the fraction of CPU time the host scheduler grants each
 // worker this tick; the remainder is runnable-but-waiting time, which PSI
@@ -269,7 +350,7 @@ func (a *App) serveRequest(now vclock.Time) requestOutcome {
 		if rate == 0 || len(a.classPages[i]) == 0 {
 			continue
 		}
-		a.accum[i] += rate
+		a.accum[i] += rate * a.load
 		for a.accum[i] >= 1 {
 			a.accum[i]--
 			pg := a.classPages[i][a.rng.IntN(len(a.classPages[i]))]
@@ -278,7 +359,7 @@ func (a *App) serveRequest(now vclock.Time) requestOutcome {
 	}
 	// Lazy anonymous growth.
 	if a.growPerRequest > 0 && a.lazyCursor < len(a.anonLazy) {
-		a.growAccum += a.growPerRequest
+		a.growAccum += a.growPerRequest * a.load
 		for a.growAccum >= 1 && a.lazyCursor < len(a.anonLazy) {
 			a.growAccum--
 			out.absorb(a.mgr.Touch(now, a.anonLazy[a.lazyCursor]))
@@ -290,7 +371,7 @@ func (a *App) serveRequest(now vclock.Time) requestOutcome {
 	// producing stream (logs) writes it, leaving the page dirty so its
 	// eviction costs writeback.
 	if a.streamPerRequest > 0 && len(a.streamPages) > 0 {
-		a.streamAccum += a.streamPerRequest
+		a.streamAccum += a.streamPerRequest * a.load
 		for a.streamAccum >= 1 {
 			a.streamAccum--
 			pg := a.streamPages[a.streamCursor]
@@ -324,6 +405,8 @@ func (a *App) Kill(now vclock.Time) {
 		a.mgr.FreePages(pages)
 	}
 	a.mgr.FreePages(a.streamPages)
+	a.mgr.FreePages(a.bloatPages)
+	a.bloatPages = nil
 	for i := range a.carry {
 		a.carry[i] = 0
 	}
