@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all check race
+.PHONY: all check race bench
 
 all: check
 
@@ -16,3 +16,11 @@ check:
 
 race:
 	$(GO) test -race ./internal/telemetry ./internal/trace ./internal/metrics ./internal/fleet
+
+# Reproducible perf baseline: runs the root figure benchmarks once each plus
+# the hot-path microbenchmarks at fixed iteration counts, and writes the
+# parsed results to BENCH_core.json. Override the budgets with
+# BENCH_FLAGS="-figures 3x -micro 100000x" or shrink for CI with
+# BENCH_FLAGS=-skip-figures.
+bench:
+	$(GO) run ./cmd/benchjson -out BENCH_core.json $(BENCH_FLAGS)

@@ -1,0 +1,170 @@
+// Command benchjson runs the repository's benchmark suites — the root
+// figure benchmarks that regenerate the paper's evaluation plus the
+// hot-path microbenchmarks in internal/{mm,psi,backend,sim} — and writes
+// the parsed results to a single JSON file (BENCH_core.json via `make
+// bench`). The file pins the perf trajectory: every benchmark's ns/op,
+// B/op, and allocs/op, plus each figure's headline metrics, so any PR can
+// diff its numbers against the committed baseline.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-out BENCH_core.json] [-figures 1x] [-micro 20000x] [-skip-figures]
+//
+// Times are wall-clock measurements and move with the host; allocs/op is
+// deterministic and is the number regressions are gated on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics carries the benchmark's custom units — the headline figure
+	// numbers (savings percentages, RPS ratios, vsec/sec, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_core.json document.
+type Report struct {
+	Schema     int         `json:"schema"`
+	Tool       string      `json:"tool"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// suite is one `go test -bench` invocation.
+type suite struct {
+	pkg       string // package path passed to go test
+	benchtime string
+}
+
+func main() {
+	out := flag.String("out", "BENCH_core.json", "output file")
+	figures := flag.String("figures", "1x", "benchtime for the root figure benchmarks (each iteration is a full quick-scale experiment)")
+	micro := flag.String("micro", "20000x", "benchtime for the hot-path microbenchmarks")
+	skipFigures := flag.Bool("skip-figures", false, "run only the microbenchmark suites")
+	flag.Parse()
+
+	suites := []suite{
+		{pkg: "./internal/mm", benchtime: *micro},
+		{pkg: "./internal/psi", benchtime: *micro},
+		{pkg: "./internal/backend", benchtime: *micro},
+		{pkg: "./internal/sim", benchtime: *micro},
+	}
+	if !*skipFigures {
+		suites = append([]suite{{pkg: ".", benchtime: *figures}}, suites...)
+	}
+
+	rep := Report{
+		Schema:    1,
+		Tool:      "cmd/benchjson (make bench)",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, s := range suites {
+		bs, err := runSuite(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, bs...)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// runSuite executes one go test -bench run and parses its output.
+func runSuite(s suite) ([]Benchmark, error) {
+	args := []string{"test", "-run", "^$", "-bench", ".", "-benchmem", "-benchtime", s.benchtime, s.pkg}
+	fmt.Printf("benchjson: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w\n%s", s.pkg, err, outBytes)
+	}
+	return parseBench(string(outBytes))
+}
+
+// parseBench extracts benchmark result lines from go test -bench output.
+// A result line is "Benchmark<Name>[-P] <iters> {<value> <unit>}...".
+func parseBench(out string) ([]Benchmark, error) {
+	var res []Benchmark
+	pkg := ""
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkX --- FAIL"
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			// Strip the GOMAXPROCS suffix go test appends.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := Benchmark{Package: pkg, Name: name, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad benchmark value in %q", line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		res = append(res, b)
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("no benchmark results parsed:\n%s", out)
+	}
+	return res, nil
+}

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"tmo/internal/cgroup"
@@ -40,6 +42,8 @@ func main() {
 	controls := flag.Bool("controls", false, "dump cgroup control files at the end")
 	traceN := flag.Int("trace", 0, "dump the last N controller trace events at the end")
 	chaosScript := flag.String("chaos", "", `fault-injection script, e.g. "t=2m ssd-slow x4 for=5m; t=10m load x2" (see internal/chaos)`)
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the simulation to this file")
 	metricsOut := flag.String("metrics-out", "", "write the telemetry registry to this file in Prometheus text format")
 	traceOut := flag.String("trace-out", "", "write the decision-span timeline to this file in Chrome trace_event JSON (open in chrome://tracing or Perfetto)")
 	timelineOut := flag.String("timeline-out", "", "write the decision-span timeline to this file as JSON Lines")
@@ -96,6 +100,19 @@ func main() {
 	fmt.Printf("%-8s %-10s %-10s %-10s %-9s %-9s %-9s %-8s\n",
 		"time", "resident", "pool", "swapped", "mem-psi", "io-psi", "rps", "swapins/s")
 
+	// Profiling brackets the simulation loop only, so profiles measure the
+	// hot path rather than setup or report formatting.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(fmt.Errorf("cpuprofile: %w", err))
+		}
+	}
+
 	var lastCompleted, lastSwapIns int64
 	var lastMem, lastIO vclock.Duration
 	step := vclock.FromStd(report)
@@ -122,6 +139,18 @@ func main() {
 		)
 		lastCompleted, lastSwapIns = completed, st.SwapIns
 		lastMem, lastIO = memTot, ioTot
+	}
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+		fmt.Printf("\nwrote CPU profile to %s\n", *cpuprofile)
+	}
+	if *memprofile != "" {
+		runtime.GC() // surface live retention, not garbage awaiting collection
+		writeFile(*memprofile, func(w io.Writer) error {
+			return pprof.Lookup("allocs").WriteTo(w, 0)
+		})
+		fmt.Printf("wrote heap profile to %s\n", *memprofile)
 	}
 
 	m := sys.Metrics()

@@ -1,0 +1,73 @@
+package mm
+
+import (
+	"testing"
+
+	"tmo/internal/vclock"
+)
+
+// These tests pin the allocation behaviour of the fault hot paths so a
+// regression fails `go test`, not just a benchmark diff someone has to
+// read. The simulation executes Touch millions of times per experiment;
+// a single allocation per call dominates the heap profile.
+
+// TestTouchResidentHitAllocFree pins the resident-hit path at zero
+// allocations: touching a page that is already resident must only flip
+// referenced bits and LRU positions.
+func TestTouchResidentHitAllocFree(t *testing.T) {
+	m := newTestManager(1024, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, Anon, 64, 1)
+	touchAll(m, 0, pages)
+	now := vclock.Time(vclock.Second)
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		m.Touch(now, pages[i%len(pages)])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("resident-hit Touch allocates %.2f times per call, want 0", avg)
+	}
+}
+
+// TestFaultPathAllocFree pins the zero-fill fault path, including the
+// FreePages return trip, at zero allocations.
+func TestFaultPathAllocFree(t *testing.T) {
+	m := newTestManager(1024, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, Anon, 1, 1)
+	now := vclock.Time(vclock.Second)
+	free := pages[:1]
+	avg := testing.AllocsPerRun(1000, func() {
+		m.Touch(now, pages[0])
+		m.FreePages(free)
+	})
+	if avg != 0 {
+		t.Fatalf("zero-fill fault cycle allocates %.2f times per call, want 0", avg)
+	}
+}
+
+// TestSwapInFaultAllocBound bounds the swap-in fault + re-offload cycle
+// below one allocation per round trip. The mm layer itself is
+// allocation-free here (cluster bookkeeping is intrusive, reclaim reuses
+// its scratch buffer); the fractional remainder is the zswap backend
+// amortising pool bookkeeping growth.
+func TestSwapInFaultAllocBound(t *testing.T) {
+	m := newTestManager(1024, newZswap(), PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, Anon, 64, 2)
+	touchAll(m, 0, pages)
+	now := vclock.Time(vclock.Second)
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		now = now.Add(vclock.Millisecond)
+		// Offload one page, then fault: one store plus one load per round.
+		m.SetLimit(now, g, g.HierResidentBytes()-pageSize)
+		m.SetLimit(now, g, 0)
+		m.Touch(now, pages[i%len(pages)])
+		i++
+	})
+	if avg >= 1 {
+		t.Fatalf("swap-in fault cycle allocates %.2f times per round trip, want < 1", avg)
+	}
+}

@@ -15,9 +15,55 @@ func BenchmarkTouchResident(b *testing.B) {
 	g := m.NewGroup("app", nil)
 	pages := m.NewPages(g, Anon, 4096, 1)
 	touchAll(m, 0, pages)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Touch(vclock.Time(i), pages[i%len(pages)])
+	}
+}
+
+func BenchmarkFaultZeroFill(b *testing.B) {
+	m := newTestManager(1<<18, nil, PolicyTMO)
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, Anon, 1024, 1)
+	free := make([]*Page, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pages[i%len(pages)]
+		m.Touch(vclock.Time(i), p)
+		free[0] = p
+		m.FreePages(free)
+	}
+}
+
+// BenchmarkSwapInFaultReadahead exercises the full swap-cluster machinery:
+// batched swap-outs populate clusters, then faults pull them back with
+// readahead riding along. This is the per-fault path the cluster
+// bookkeeping must keep allocation-free.
+func BenchmarkSwapInFaultReadahead(b *testing.B) {
+	z := newZswap()
+	m := NewManager(Config{
+		CapacityBytes: (1 << 18) * pageSize,
+		PageSize:      pageSize,
+		Swap:          z,
+		FS:            newTestFS(99),
+		Policy:        PolicyTMO,
+		SwapReadahead: 4,
+	})
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, Anon, 64, 2)
+	touchAll(m, 0, pages)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := vclock.Time(i) * vclock.Time(vclock.Second)
+		m.ProactiveReclaim(now, g, 16*pageSize)
+		for _, p := range pages {
+			if p.State() == Offloaded {
+				m.Touch(now, p)
+			}
+		}
 	}
 }
 

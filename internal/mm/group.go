@@ -128,6 +128,18 @@ func (g *Group) SetLow(bytes int64) {
 	g.lowBytes = bytes
 }
 
+// reclaimWeight returns the group's reclaim weight for one proportional
+// shrink pass rooted at root. While memory.low protections are honoured,
+// protected memory is invisible; the reclaim root's own protection never
+// applies to itself (low guards against *external* pressure, like the
+// kernel's).
+func (g *Group) reclaimWeight(root *Group, honourLow bool) int64 {
+	if honourLow && g != root {
+		return g.protectedReclaimable()
+	}
+	return g.ResidentBytes()
+}
+
 // protectedReclaimable returns how much of the group's own resident memory
 // is above its protection, i.e. available to ancestor-driven reclaim while
 // protections are honoured.

@@ -79,11 +79,19 @@ type Manager struct {
 	swapExhausted bool
 
 	// Swap-cluster bookkeeping for readahead: consecutive swap-outs share
-	// a cluster (adjacent slots); clusterPages indexes the offloaded
-	// pages of each live cluster.
-	curCluster     uint64
-	curClusterSize int
-	clusterPages   map[uint64][]*Page
+	// a cluster (adjacent slots). Each live cluster is an intrusive list
+	// threaded through its pages; curCluster receives new swap-outs until
+	// curClusterSlots slots have been assigned. Emptied clusters are
+	// recycled through freeClusters so steady-state swap traffic performs
+	// no cluster allocations.
+	curCluster      *swapCluster
+	curClusterSlots int
+	freeClusters    []*swapCluster
+
+	// scratchGroups is reclaim's reusable subtree enumeration buffer.
+	// Reclaim never nests (shrinking a group cannot trigger another
+	// reclaim), so a single buffer per manager is safe.
+	scratchGroups []*Group
 
 	// readaheadIn counts pages loaded by readahead rather than faults.
 	readaheadIn int64
@@ -119,7 +127,7 @@ func NewManager(cfg Config) *Manager {
 	if cfg.FS == nil {
 		panic("mm: filesystem backend is required")
 	}
-	m := &Manager{cfg: cfg, clusterPages: make(map[uint64][]*Page)}
+	m := &Manager{cfg: cfg}
 	m.root = &Group{name: "/", mgr: m}
 	return m
 }
@@ -132,56 +140,60 @@ func (m *Manager) noteSwapOut(p *Page) {
 	if m.cfg.SwapReadahead <= 0 {
 		return
 	}
-	if m.curClusterSize >= swapClusterSize {
-		m.curCluster++
-		m.curClusterSize = 0
+	if m.curCluster == nil || m.curClusterSlots >= swapClusterSize {
+		if n := len(m.freeClusters); n > 0 {
+			m.curCluster = m.freeClusters[n-1]
+			m.freeClusters = m.freeClusters[:n-1]
+		} else {
+			m.curCluster = &swapCluster{}
+		}
+		m.curClusterSlots = 0
 	}
-	p.cluster = m.curCluster
-	m.clusterPages[m.curCluster] = append(m.clusterPages[m.curCluster], p)
-	m.curClusterSize++
+	m.curCluster.pushTail(p)
+	m.curClusterSlots++
 }
 
-// dropFromCluster removes a page from its swap cluster index.
+// dropFromCluster removes a page from its swap cluster index. Keyed on the
+// page's own membership rather than the readahead configuration, so pages
+// always leave their cluster no matter how they stop being offloaded
+// (fault, readahead, or FreePages) — a stale cluster entry would hold a
+// dangling page pointer.
 func (m *Manager) dropFromCluster(p *Page) {
-	if m.cfg.SwapReadahead <= 0 {
+	cl := p.cluster
+	if cl == nil {
 		return
 	}
-	pages := m.clusterPages[p.cluster]
-	for i, q := range pages {
-		if q == p {
-			pages[i] = pages[len(pages)-1]
-			pages = pages[:len(pages)-1]
-			break
-		}
-	}
-	if len(pages) == 0 {
-		delete(m.clusterPages, p.cluster)
-	} else {
-		m.clusterPages[p.cluster] = pages
+	cl.remove(p)
+	if cl.n == 0 && cl != m.curCluster {
+		m.freeClusters = append(m.freeClusters, cl)
 	}
 }
 
-// readahead loads up to SwapReadahead cluster neighbours of p. The
+// readahead loads up to SwapReadahead still-offloaded members of the
+// faulting page's cluster cl (the page itself has already left it). The
 // neighbours ride the faulting page's cluster IO: they arrive unreferenced
 // at the inactive head and are not charged to the faulting task's stall.
-func (m *Manager) readahead(now vclock.Time, p *Page) {
-	if m.cfg.SwapReadahead <= 0 {
+// Readahead is opportunistic: a neighbour whose charge would push any group
+// in its ancestry over its effective memory.max is skipped rather than
+// charged over the limit — mistaken readahead must never cause reclaim or
+// OOM pressure of its own.
+func (m *Manager) readahead(now vclock.Time, cl *swapCluster) {
+	if m.cfg.SwapReadahead <= 0 || cl == nil {
 		return
 	}
-	neighbours := append([]*Page(nil), m.clusterPages[p.cluster]...)
 	loaded := 0
-	for _, q := range neighbours {
-		if q == p || q.state != Offloaded || loaded >= m.cfg.SwapReadahead {
+	for q := cl.head; q != nil && loaded < m.cfg.SwapReadahead; {
+		next := q.clusterNext
+		if q.group.overLimitAncestor(m.cfg.PageSize) != nil {
+			if m.tel != nil {
+				m.tel.readaheadSkips.Inc()
+			}
+			q = next
 			continue
 		}
 		m.cfg.Swap.Load(now, backend.Handle(q.handle))
 		m.dropFromCluster(q)
 		q.group.swappedPages--
-		m.readaheadIn++
-		if m.tel != nil {
-			m.tel.readaheadIns.Inc()
-		}
-		m.tryCharge(now, q.group)
 		q.state = Resident
 		q.active = false
 		q.referenced = false
@@ -189,6 +201,13 @@ func (m *Manager) readahead(now vclock.Time, p *Page) {
 		q.group.residentPages[q.Type]++
 		q.group.charge(m.cfg.PageSize)
 		loaded++
+		q = next
+	}
+	if loaded > 0 {
+		m.readaheadIn += int64(loaded)
+		if m.tel != nil {
+			m.tel.readaheadIns.Add(int64(loaded))
+		}
 	}
 }
 
@@ -392,6 +411,7 @@ func (m *Manager) touch(now vclock.Time, p *Page) TouchResult {
 		g.stat.SwapIns++
 		g.swappedPages--
 		g.noteCost(now, Anon)
+		cl := p.cluster
 		m.dropFromCluster(p)
 		res := TouchResult{
 			Fault:    true,
@@ -402,7 +422,7 @@ func (m *Manager) touch(now vclock.Time, p *Page) TouchResult {
 		}
 		res.DirectReclaimStall = m.tryCharge(now, g)
 		m.makeResident(now, p)
-		m.readahead(now, p)
+		m.readahead(now, cl)
 		return res
 
 	case EvictedFile:

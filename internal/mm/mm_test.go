@@ -589,6 +589,56 @@ func TestSwapReadahead(t *testing.T) {
 	}
 }
 
+// TestReadaheadHonoursMemoryMax: readahead is opportunistic and must never
+// push a cgroup above its effective memory.max. The setup makes
+// charge-triggered reclaim unable to help: the zswap pool is sized to
+// exactly the compressible working set, so once readahead loads start
+// freeing small compressed entries, storing an incompressible resident page
+// back needs more pool space than the loads released. Before the fix,
+// readahead charged loaded pages anyway, recording OOM overcharges and
+// leaving the group above its limit.
+func TestReadaheadHonoursMemoryMax(t *testing.T) {
+	const compRatio = 3.0
+	compStored := backend.AllocZsmalloc.StoredSize(pageSize, compRatio*backend.CodecZstd.RatioFactor)
+	z := backend.NewZswap(backend.CodecZstd, backend.AllocZsmalloc, 8*compStored, 7)
+	m := NewManager(Config{
+		CapacityBytes: 1024 * pageSize,
+		PageSize:      pageSize,
+		Swap:          z,
+		FS:            newTestFS(77),
+		Policy:        PolicyTMO,
+		SwapReadahead: 4,
+	})
+	g := m.NewGroup("app", nil)
+	comp := m.NewPages(g, Anon, 8, compRatio)
+	incomp := m.NewPages(g, Anon, 8, 1)
+	touchAll(m, 0, comp)
+	touchAll(m, vclock.Time(vclock.Second), incomp)
+	// Offload the 8 cold compressible pages; they fill the pool exactly.
+	m.ProactiveReclaim(vclock.Time(2*vclock.Second), g, 8*pageSize)
+	for i, p := range comp {
+		if p.State() != Offloaded {
+			t.Fatalf("setup: compressible page %d is %v, want offloaded", i, p.State())
+		}
+	}
+	// Leave headroom for the fault itself but not for any readahead.
+	limit := g.HierResidentBytes() + pageSize
+	m.SetLimit(vclock.Time(3*vclock.Second), g, limit)
+
+	m.Touch(vclock.Time(4*vclock.Second), comp[0])
+
+	if got := g.HierResidentBytes(); got > limit {
+		t.Errorf("readahead pushed group %d bytes above memory.max (usage %d, limit %d)",
+			got-limit, got, limit)
+	}
+	if n := m.OOMEvents(); n != 0 {
+		t.Errorf("opportunistic readahead caused %d OOM overcharges, want 0", n)
+	}
+	if m.SwapExhausted() {
+		t.Error("readahead latched swap-exhausted, poisoning future anon reclaim")
+	}
+}
+
 func TestReadaheadDisabledByDefault(t *testing.T) {
 	z := newZswap()
 	m := newTestManager(1024, z, PolicyTMO)
@@ -704,6 +754,59 @@ func TestFreePagesResetsState(t *testing.T) {
 	}
 }
 
+// TestFreePagesDropsClusterMembership: every exit from the Offloaded state —
+// fault, readahead, FreePages — must remove the page from its swap cluster.
+// A freed page left linked would be revived by a neighbour's readahead with
+// no backend slot behind it, resurrecting discarded content.
+func TestFreePagesDropsClusterMembership(t *testing.T) {
+	z := newZswap()
+	m := NewManager(Config{
+		CapacityBytes: 1024 * pageSize,
+		PageSize:      pageSize,
+		Swap:          z,
+		FS:            newTestFS(77),
+		Policy:        PolicyTMO,
+		SwapReadahead: 4,
+	})
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, Anon, 16, 2)
+	touchAll(m, 0, pages)
+	m.ProactiveReclaim(vclock.Time(vclock.Second), g, 8*pageSize)
+	var offloaded []*Page
+	for _, p := range pages {
+		if p.State() == Offloaded {
+			offloaded = append(offloaded, p)
+		}
+	}
+	if len(offloaded) != 8 {
+		t.Fatalf("setup: offloaded %d pages, want 8", len(offloaded))
+	}
+	freed := offloaded[:4]
+	m.FreePages(freed)
+	for i, p := range freed {
+		if p.cluster != nil {
+			t.Fatalf("freed page %d still linked into its swap cluster", i)
+		}
+	}
+	// Fault a survivor: readahead walks the cluster and must see only the
+	// three remaining neighbours, never the freed pages.
+	m.Touch(vclock.Time(2*vclock.Second), offloaded[4])
+	if got := m.ReadaheadIn(); got != 3 {
+		t.Fatalf("readahead loaded %d pages, want the 3 surviving neighbours", got)
+	}
+	for i, p := range freed {
+		if p.State() != NotPresent {
+			t.Fatalf("freed page %d resurrected by readahead: %v", i, p.State())
+		}
+	}
+	for i, p := range offloaded[4:] {
+		if p.State() != Resident {
+			t.Fatalf("surviving cluster member %d is %v, want resident", i, p.State())
+		}
+	}
+	checkAccounting(t, m, []*Group{g}, pages)
+}
+
 func TestColdnessHistogram(t *testing.T) {
 	m := newTestManager(1024, nil, PolicyTMO)
 	g := m.NewGroup("app", nil)
@@ -779,6 +882,31 @@ func checkAccounting(t *testing.T, m *Manager, groups []*Group, pages []*Page) {
 	}
 	if m.Root().HierResidentBytes() != totalResident {
 		t.Fatalf("root usage %d != total resident %d", m.Root().HierResidentBytes(), totalResident)
+	}
+	// Swap-cluster membership must track the Offloaded state exactly: a
+	// cluster entry for a page in any other state is a dangling pointer
+	// (the leak class dropFromCluster guards against), and a linked page
+	// must be reachable from its own cluster's head.
+	for _, p := range pages {
+		if p.cluster == nil {
+			if p.clusterNext != nil || p.clusterPrev != nil {
+				t.Fatalf("page without cluster retains cluster links")
+			}
+			continue
+		}
+		if p.State() != Offloaded {
+			t.Fatalf("%v page still linked into a swap cluster", p.State())
+		}
+		found := false
+		for q := p.cluster.head; q != nil; q = q.clusterNext {
+			if q == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("offloaded page points at a cluster that does not contain it")
+		}
 	}
 }
 

@@ -102,8 +102,10 @@ type Page struct {
 	handle uint64
 	// cluster groups pages swapped out together; swap readahead loads
 	// cluster neighbours alongside a faulting page, like the kernel's
-	// swap readahead over adjacent swap slots.
-	cluster uint64
+	// swap readahead over adjacent swap slots. Membership is intrusive:
+	// non-nil only while the page is Offloaded and indexed for readahead.
+	cluster                  *swapCluster
+	clusterNext, clusterPrev *Page
 
 	// shadow is the group eviction counter recorded when this file page
 	// was evicted; valid while hasShadow is set.
@@ -134,6 +136,49 @@ func (p *Page) Dirty() bool { return p.dirty }
 // LastTouch returns the time of the page's most recent access and whether
 // it was ever accessed.
 func (p *Page) LastTouch() (vclock.Time, bool) { return p.lastTouch, p.touched }
+
+// swapCluster indexes the still-offloaded pages of one swap cluster as an
+// intrusive doubly-linked list threaded through the pages themselves
+// (clusterNext/clusterPrev), so joining and leaving a cluster are O(1)
+// pointer updates with no map or slice bookkeeping on the fault path. The
+// list is kept in swap-out order: head is the first page stored into the
+// cluster, matching the adjacent-slot order the kernel's readahead walks.
+type swapCluster struct {
+	head, tail *Page
+	// n counts live members; when it reaches zero the manager recycles
+	// the cluster through its free list.
+	n int
+}
+
+// pushTail appends p to the cluster in swap-out order.
+func (c *swapCluster) pushTail(p *Page) {
+	p.cluster = c
+	p.clusterNext = nil
+	p.clusterPrev = c.tail
+	if c.tail != nil {
+		c.tail.clusterNext = p
+	} else {
+		c.head = p
+	}
+	c.tail = p
+	c.n++
+}
+
+// remove unlinks p from the cluster.
+func (c *swapCluster) remove(p *Page) {
+	if p.clusterPrev != nil {
+		p.clusterPrev.clusterNext = p.clusterNext
+	} else {
+		c.head = p.clusterNext
+	}
+	if p.clusterNext != nil {
+		p.clusterNext.clusterPrev = p.clusterPrev
+	} else {
+		c.tail = p.clusterPrev
+	}
+	p.cluster, p.clusterNext, p.clusterPrev = nil, nil, nil
+	c.n--
+}
 
 // lruList is an intrusive doubly-linked page list. The head is the most
 // recently added end; reclaim scans from the tail. The list tracks how many

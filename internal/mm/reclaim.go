@@ -52,34 +52,23 @@ func (m *Manager) reclaim(now vclock.Time, root *Group, want int64, direct bool)
 	var total ReclaimResult
 	remaining := want
 
-	// weightOf returns a group's reclaim weight for this pass. While
-	// memory.low protections are honoured, protected memory is invisible;
-	// the reclaim root's own protection never applies to itself (low
-	// guards against *external* pressure, like the kernel's).
-	weightOf := func(g *Group, honourLow bool) int64 {
-		if honourLow && g != root {
-			return g.protectedReclaimable()
-		}
-		return g.ResidentBytes()
-	}
-
 	// Two phases: honour protections first; if the target was not met
 	// from unprotected memory, memory.low degrades to best-effort and the
 	// remainder comes from everywhere (kernel behaviour under sustained
 	// pressure).
-	for _, honourLow := range []bool{true, false} {
+	for _, honourLow := range [2]bool{true, false} {
 		for round := 0; round < 3 && remaining > 0; round++ {
-			groups := subtreeGroups(root)
+			groups := m.subtreeGroups(root)
 			var weightSum int64
 			for _, g := range groups {
-				weightSum += weightOf(g, honourLow)
+				weightSum += g.reclaimWeight(root, honourLow)
 			}
 			if weightSum == 0 {
 				break
 			}
 			progressed := false
 			for _, g := range groups {
-				w := weightOf(g, honourLow)
+				w := g.reclaimWeight(root, honourLow)
 				if w == 0 {
 					continue
 				}
@@ -117,11 +106,20 @@ func (m *Manager) reclaim(now vclock.Time, root *Group, want int64, direct bool)
 	return total
 }
 
-// subtreeGroups returns root and all descendants in depth-first order.
-func subtreeGroups(root *Group) []*Group {
-	out := []*Group{root}
-	for _, c := range root.children {
-		out = append(out, subtreeGroups(c)...)
+// subtreeGroups returns root and all descendants in depth-first order. The
+// result aliases the manager's scratch buffer: it is valid until the next
+// call and must not be retained. Reclaim runs many times per simulated
+// second, so enumerating the (small, stable) group tree must not allocate.
+func (m *Manager) subtreeGroups(root *Group) []*Group {
+	m.scratchGroups = appendSubtree(m.scratchGroups[:0], root)
+	return m.scratchGroups
+}
+
+// appendSubtree appends g and its descendants to out depth-first.
+func appendSubtree(out []*Group, g *Group) []*Group {
+	out = append(out, g)
+	for _, c := range g.children {
+		out = appendSubtree(out, c)
 	}
 	return out
 }
@@ -145,12 +143,8 @@ func (m *Manager) shrinkOracle(now vclock.Time, g *Group, want int64) ReclaimRes
 	}
 	sortPagesByAge(pages)
 	res.ScannedPages = int64(len(pages))
-	g.stat.PagesScanned += int64(len(pages))
-	if m.tel != nil {
-		m.tel.pagesScanned.Add(int64(len(pages)))
-	}
 
-	var reclaimed int64
+	var reclaimed, writebacks int64
 	for _, p := range pages {
 		if reclaimed >= target {
 			break
@@ -179,10 +173,6 @@ func (m *Manager) shrinkOracle(now vclock.Time, g *Group, want int64) ReclaimRes
 			g.residentPages[Anon]--
 			g.charge(-m.cfg.PageSize)
 			g.swappedPages++
-			g.stat.SwapOuts++
-			if m.tel != nil {
-				m.tel.swapOuts.Inc()
-			}
 			m.noteSwapOut(p)
 			res.StallTime += store.Latency
 			res.ReclaimedAnon++
@@ -191,10 +181,7 @@ func (m *Manager) shrinkOracle(now vclock.Time, g *Group, want int64) ReclaimRes
 			if p.dirty {
 				m.cfg.FS.WritePage(now)
 				p.dirty = false
-				g.stat.FileWritebacks++
-				if m.tel != nil {
-					m.tel.fileWritebacks.Inc()
-				}
+				writebacks++
 			}
 			p.active = false
 			p.state = EvictedFile
@@ -203,16 +190,13 @@ func (m *Manager) shrinkOracle(now vclock.Time, g *Group, want int64) ReclaimRes
 			g.evictions++
 			g.residentPages[File]--
 			g.charge(-m.cfg.PageSize)
-			g.stat.FileEvictions++
-			if m.tel != nil {
-				m.tel.fileEvictions.Inc()
-			}
 			res.ReclaimedFile++
 		}
 		reclaimed++
 	}
 	res.ReclaimedBytes = reclaimed * m.cfg.PageSize
 	res.StallTime += vclock.Duration(res.ScannedPages) * m.cfg.ScanCPUPerPage / 8 // a table walk, not a list scan
+	m.noteShrink(g, res, writebacks)
 	return res
 }
 
@@ -246,7 +230,7 @@ func (m *Manager) shrinkGroup(now vclock.Time, g *Group, want int64) ReclaimResu
 		refs += int64(g.lists[t][0].refs + g.lists[t][1].refs)
 	}
 	scanLimit := target*maxScanFactor + refs + scanBatch
-	var reclaimed int64
+	var reclaimed, writebacks int64
 
 	for reclaimed < target && res.ScannedPages < scanLimit {
 		t, ok := m.pickScanType(now, g)
@@ -283,10 +267,6 @@ func (m *Manager) shrinkGroup(now vclock.Time, g *Group, want int64) ReclaimResu
 			continue
 		}
 		res.ScannedPages++
-		g.stat.PagesScanned++
-		if m.tel != nil {
-			m.tel.pagesScanned.Inc()
-		}
 
 		if p.referenced {
 			// Second chance, kernel-style: a referenced anonymous page
@@ -322,10 +302,6 @@ func (m *Manager) shrinkGroup(now vclock.Time, g *Group, want int64) ReclaimResu
 			g.residentPages[Anon]--
 			g.charge(-m.cfg.PageSize)
 			g.swappedPages++
-			g.stat.SwapOuts++
-			if m.tel != nil {
-				m.tel.swapOuts.Inc()
-			}
 			m.noteSwapOut(p)
 			res.StallTime += store.Latency
 			res.ReclaimedAnon++
@@ -338,10 +314,7 @@ func (m *Manager) shrinkGroup(now vclock.Time, g *Group, want int64) ReclaimResu
 			if p.dirty {
 				m.cfg.FS.WritePage(now)
 				p.dirty = false
-				g.stat.FileWritebacks++
-				if m.tel != nil {
-					m.tel.fileWritebacks.Inc()
-				}
+				writebacks++
 			}
 			p.state = EvictedFile
 			p.shadow = g.evictions
@@ -349,17 +322,40 @@ func (m *Manager) shrinkGroup(now vclock.Time, g *Group, want int64) ReclaimResu
 			g.evictions++
 			g.residentPages[File]--
 			g.charge(-m.cfg.PageSize)
-			g.stat.FileEvictions++
-			if m.tel != nil {
-				m.tel.fileEvictions.Inc()
-			}
 			res.ReclaimedFile++
 		}
 		reclaimed++
 	}
 	res.ReclaimedBytes = reclaimed * m.cfg.PageSize
 	res.StallTime += vclock.Duration(res.ScannedPages) * m.cfg.ScanCPUPerPage
+	m.noteShrink(g, res, writebacks)
 	return res
+}
+
+// noteShrink folds one shrink run's per-page event counts into the group's
+// cumulative counters and the telemetry registry. Batching here means the
+// instrumented reclaim path pays one counter update per shrink call instead
+// of one atomic per page scanned or evicted.
+func (m *Manager) noteShrink(g *Group, res ReclaimResult, writebacks int64) {
+	g.stat.PagesScanned += res.ScannedPages
+	g.stat.SwapOuts += res.ReclaimedAnon
+	g.stat.FileEvictions += res.ReclaimedFile
+	g.stat.FileWritebacks += writebacks
+	if m.tel == nil {
+		return
+	}
+	if res.ScannedPages > 0 {
+		m.tel.pagesScanned.Add(res.ScannedPages)
+	}
+	if res.ReclaimedAnon > 0 {
+		m.tel.swapOuts.Add(res.ReclaimedAnon)
+	}
+	if res.ReclaimedFile > 0 {
+		m.tel.fileEvictions.Add(res.ReclaimedFile)
+	}
+	if writebacks > 0 {
+		m.tel.fileWritebacks.Add(writebacks)
+	}
 }
 
 // otherAvailable reports whether the LRU of the type other than t has pages

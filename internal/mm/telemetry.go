@@ -22,6 +22,7 @@ type counters struct {
 	oomEvents      *telemetry.Counter
 	swapRejects    *telemetry.Counter
 	readaheadIns   *telemetry.Counter
+	readaheadSkips *telemetry.Counter
 	zeroFills      *telemetry.Counter
 	faultLatency   *telemetry.Histogram
 }
@@ -43,6 +44,7 @@ func (m *Manager) EnableTelemetry(reg *telemetry.Registry) {
 		oomEvents:      reg.Counter("mm.oom_events"),
 		swapRejects:    reg.Counter("mm.swap_rejects"),
 		readaheadIns:   reg.Counter("mm.readahead_ins"),
+		readaheadSkips: reg.Counter("mm.readahead_skips"),
 		zeroFills:      reg.Counter("mm.zero_fills"),
 		faultLatency:   reg.Histogram("mm.fault_latency_us"),
 	}

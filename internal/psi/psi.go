@@ -111,6 +111,14 @@ type Tracker struct {
 	avgs        [NumResources][2][numWindows]float64
 	lastAvgTime vclock.Time
 	lastAvgTot  [NumResources][2]vclock.Duration
+
+	// alpha caches the per-window EWMA weights 1-exp(-period/window) for
+	// the last observed update period. The simulation drives UpdateAverages
+	// on a fixed tick, so after the first call the three exponentials are
+	// never recomputed; six trackers per host times three windows made
+	// this one of the measured hot spots.
+	alphaPeriod vclock.Duration
+	alpha       [numWindows]float64
 }
 
 // NewTracker returns a tracker whose accounting starts at instant start.
@@ -197,6 +205,12 @@ func (t *Tracker) UpdateAverages(now vclock.Time) {
 	if period <= 0 {
 		return
 	}
+	if period != t.alphaPeriod {
+		for w := Window(0); w < numWindows; w++ {
+			t.alpha[w] = 1 - math.Exp(-float64(period)/float64(windowLen[w]))
+		}
+		t.alphaPeriod = period
+	}
 	for r := Resource(0); r < NumResources; r++ {
 		for k := Some; k <= Full; k++ {
 			delta := t.totals[r][k] - t.lastAvgTot[r][k]
@@ -205,8 +219,7 @@ func (t *Tracker) UpdateAverages(now vclock.Time) {
 				pct = 1
 			}
 			for w := Window(0); w < numWindows; w++ {
-				alpha := 1 - math.Exp(-float64(period)/float64(windowLen[w]))
-				t.avgs[r][k][w] += alpha * (pct - t.avgs[r][k][w])
+				t.avgs[r][k][w] += t.alpha[w] * (pct - t.avgs[r][k][w])
 			}
 			t.lastAvgTot[r][k] = t.totals[r][k]
 		}
