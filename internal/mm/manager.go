@@ -413,6 +413,16 @@ func (m *Manager) touch(now vclock.Time, p *Page) TouchResult {
 		g.noteCost(now, Anon)
 		cl := p.cluster
 		m.dropFromCluster(p)
+		if cl != nil && cl.n == 0 {
+			// The fault emptied its cluster, and dropFromCluster has
+			// already recycled it onto freeClusters — where the direct
+			// reclaim tryCharge may trigger below can pop it and refill
+			// it with freshly evicted pages. Readahead keyed on the stale
+			// pointer would walk those pages and swap them straight back
+			// in, undoing the reclaim. An empty cluster has no neighbours
+			// to read ahead anyway, so forget it before charging.
+			cl = nil
+		}
 		res := TouchResult{
 			Fault:    true,
 			SwapIn:   true,

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"tmo/internal/backend"
+	"tmo/internal/telemetry"
 	"tmo/internal/vclock"
 )
 
@@ -803,6 +804,93 @@ func TestFreePagesDropsClusterMembership(t *testing.T) {
 		if p.State() != Resident {
 			t.Fatalf("surviving cluster member %d is %v, want resident", i, p.State())
 		}
+	}
+	checkAccounting(t, m, []*Group{g}, pages)
+}
+
+// TestFaultReadaheadIgnoresRecycledCluster: a fault that empties its swap
+// cluster sends the cluster to the manager's free list *before* the charge
+// runs. If the charge triggers direct reclaim that swaps out swapClusterSize
+// or more pages, the recycled cluster is popped back off the free list and
+// refilled with the freshly evicted pages; readahead keyed on the stale
+// cluster pointer would then walk pages reclaim just swapped out — loading
+// them straight back in, or at minimum mis-counting them as limit skips. An
+// emptied cluster has no neighbours: readahead must not touch it at all.
+func TestFaultReadaheadIgnoresRecycledCluster(t *testing.T) {
+	z := newZswap()
+	m := NewManager(Config{
+		CapacityBytes: 1024 * pageSize,
+		PageSize:      pageSize,
+		Swap:          z,
+		FS:            newTestFS(77),
+		Policy:        PolicyTMO,
+		SwapReadahead: 4,
+	})
+	reg := telemetry.NewRegistry()
+	m.EnableTelemetry(reg)
+	skips := reg.Counter("mm.readahead_skips")
+	g := m.NewGroup("app", nil)
+	pages := m.NewPages(g, Anon, 64, 2)
+	touchAll(m, 0, pages)
+	// Swap out two full clusters; the first is retired (no longer the
+	// current cluster) once the 9th swap-out opens the second.
+	m.ProactiveReclaim(vclock.Time(vclock.Second), g, 2*swapClusterSize*pageSize)
+	var offloaded []*Page
+	for _, p := range pages {
+		if p.State() == Offloaded {
+			offloaded = append(offloaded, p)
+		}
+	}
+	if len(offloaded) != 2*swapClusterSize {
+		t.Fatalf("setup: offloaded %d pages, want %d", len(offloaded), 2*swapClusterSize)
+	}
+	sole := offloaded[0]
+	clA := sole.cluster
+	if clA == nil || clA == m.curCluster {
+		t.Fatalf("setup: first swap-out batch should live in a retired cluster")
+	}
+	// Free the rest of the first cluster, leaving sole as its only member.
+	var rest []*Page
+	for _, p := range offloaded[1:] {
+		if p.cluster == clA {
+			rest = append(rest, p)
+		}
+	}
+	m.FreePages(rest)
+	if clA.n != 1 {
+		t.Fatalf("setup: cluster holds %d pages, want only the faulting page", clA.n)
+	}
+	// Balloon the host down behind the manager's back (no synchronous
+	// reclaim) so the fault's charge must direct-reclaim well over
+	// swapClusterSize pages in one go — enough swap-outs to pop the
+	// just-recycled cluster off the free list and refill it.
+	m.cfg.CapacityBytes = m.root.usageForLimit() - (swapClusterSize+4)*pageSize
+
+	m.Touch(vclock.Time(2*vclock.Second), sole)
+
+	if sole.State() != Resident {
+		t.Fatalf("faulting page is %v, want resident", sole.State())
+	}
+	// The sole member's cluster was emptied by the fault itself, so there
+	// were no neighbours: readahead must neither load nor consider anything.
+	if got := m.ReadaheadIn(); got != 0 {
+		t.Errorf("readahead loaded %d pages out of the recycled cluster, want 0", got)
+	}
+	if got := skips.Value(); got != 0 {
+		t.Errorf("readahead walked the recycled cluster (%d limit skips), want 0", got)
+	}
+	// The pages the direct reclaim just evicted — now occupying the
+	// recycled cluster — must all still be offloaded.
+	evicted := 0
+	for q := clA.head; q != nil; q = q.clusterNext {
+		evicted++
+		if q.State() != Offloaded {
+			t.Errorf("freshly evicted cluster member is %v, want offloaded", q.State())
+		}
+	}
+	if evicted < swapClusterSize {
+		t.Fatalf("setup: recycled cluster refilled with %d pages, want %d — scenario did not reproduce",
+			evicted, swapClusterSize)
 	}
 	checkAccounting(t, m, []*Group{g}, pages)
 }
