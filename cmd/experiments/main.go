@@ -66,6 +66,7 @@ func main() {
 		{"abl-lru", func() experiments.Result { return experiments.AblationLRUQuality(cfg) }},
 		{"fleet-het", func() experiments.Result { return experiments.FleetHeterogeneity(cfg) }},
 		{"resilience", func() experiments.Result { return experiments.Resilience(cfg) }},
+		{"rollout", func() experiments.Result { return experiments.RolloutScorecard(cfg) }},
 	}
 
 	ran := 0

@@ -6,12 +6,13 @@
 // Usage:
 //
 //	fleetsim [-mode zswap] [-warm 40m] [-measure 10m] [-scale 0.5] [-seed 7]
-//	         [-replicas 3] [-ratio-mult 8]
+//	         [-replicas 3] [-ratio-mult 8] [-json]
 //
 // -ratio-mult scales Senpai's reclaim ratio so runs converge within the
 // given warm-up (the production ratio of 0.0005 sheds only ~0.5%/min; pass
 // -ratio-mult 1 for the verbatim production configuration and a
-// correspondingly long -warm).
+// correspondingly long -warm). -json replaces the tables with a machine-
+// readable report of per-application and weighted-aggregate savings.
 package main
 
 import (
@@ -19,14 +20,40 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"time"
 
-	"tmo/internal/core"
+	"tmo/cmd/internal/cliutil"
 	"tmo/internal/fleet"
 	"tmo/internal/senpai"
 	"tmo/internal/textplot"
-	"tmo/internal/vclock"
 )
+
+// appReport is one application class's measurement in the -json report.
+type appReport struct {
+	App          string  `json:"app"`
+	Weight       float64 `json:"weight"`
+	SavingsFrac  float64 `json:"savings_frac"`
+	AnonSaved    float64 `json:"anon_saved_frac"`
+	FileSaved    float64 `json:"file_saved_frac"`
+	RPSRatio     float64 `json:"rps_ratio"`
+	FaultP99Us   float64 `json:"fault_p99_us"`
+	MemStallP99  float64 `json:"mem_stall_p99_us"`
+	Refaults     int64   `json:"refaults"`
+	OOMEvents    int64   `json:"oom_events"`
+	DCTaxSaved   float64 `json:"dc_tax_saved_of_total"`
+	MicroTaxSave float64 `json:"micro_tax_saved_of_total"`
+}
+
+// fleetReport is the -json document: per-app rows plus the weighted fleet
+// aggregates behind the paper's Figures 9 and 10.
+type fleetReport struct {
+	Mode              string      `json:"mode"`
+	Replicas          int         `json:"replicas"`
+	Apps              []appReport `json:"apps"`
+	WeightedSavings   float64     `json:"weighted_app_savings_frac"`
+	WeightedDCTax     float64     `json:"weighted_dc_tax_savings_frac"`
+	WeightedMicroTax  float64     `json:"weighted_micro_tax_savings_frac"`
+	WeightedTaxTotals float64     `json:"weighted_tax_savings_frac"`
+}
 
 func main() {
 	modeStr := flag.String("mode", "zswap", "offload mode: file-only, zswap, ssd")
@@ -36,30 +63,18 @@ func main() {
 	seed := flag.Uint64("seed", 7, "fleet seed")
 	replicas := flag.Int("replicas", 1, "independent servers per class (adds P50/P90 columns)")
 	ratioMult := flag.Float64("ratio-mult", 8, "multiplier on Senpai's reclaim ratio (1 = production)")
+	jsonOut := flag.Bool("json", false, "emit per-app and aggregate savings as JSON instead of tables")
 	flag.Parse()
 
-	var mode core.Mode
-	switch *modeStr {
-	case "file-only":
-		mode = core.ModeFileOnly
-	case "zswap":
-		mode = core.ModeZswap
-	case "ssd":
-		mode = core.ModeSSDSwap
-	default:
-		fmt.Fprintf(os.Stderr, "fleetsim: unknown mode %q\n", *modeStr)
-		os.Exit(1)
-	}
-	warm, err1 := time.ParseDuration(*warmStr)
-	measure, err2 := time.ParseDuration(*measureStr)
-	if err1 != nil || err2 != nil {
-		fmt.Fprintln(os.Stderr, "fleetsim: bad duration flag")
-		os.Exit(1)
-	}
+	mode := cliutil.MustMode("fleetsim", *modeStr)
+	warm := cliutil.MustDuration("fleetsim", "warm", *warmStr)
+	measure := cliutil.MustDuration("fleetsim", "measure", *measureStr)
 
 	mix := fleet.DefaultMix(mode, *seed)
-	fmt.Printf("fleetsim: %d server classes x %d replicas, mode %s, warm %v + measure %v per A/B side\n\n",
-		len(mix), *replicas, mode, warm, measure)
+	if !*jsonOut {
+		fmt.Printf("fleetsim: %d server classes x %d replicas, mode %s, warm %v + measure %v per A/B side\n\n",
+			len(mix), *replicas, mode, warm, measure)
+	}
 
 	sc := senpai.ConfigA()
 	sc.ReclaimRatio *= *ratioMult
@@ -79,7 +94,41 @@ func main() {
 			specs = append(specs, rs)
 		}
 	}
-	ms := fleet.MeasureAll(specs, vclock.FromStd(warm), vclock.FromStd(measure))
+	ms := fleet.MeasureAll(specs, warm, measure)
+	dc, micro := fleet.WeightedTaxSavings(ms)
+	appSavings := fleet.WeightedAppSavings(ms)
+
+	if *jsonOut {
+		report := fleetReport{
+			Mode:              mode.String(),
+			Replicas:          *replicas,
+			WeightedSavings:   appSavings,
+			WeightedDCTax:     dc,
+			WeightedMicroTax:  micro,
+			WeightedTaxTotals: dc + micro,
+		}
+		for _, m := range ms {
+			report.Apps = append(report.Apps, appReport{
+				App:          m.Spec.App,
+				Weight:       m.Spec.Weight,
+				SavingsFrac:  m.SavingsFrac,
+				AnonSaved:    m.AnonSavedFrac,
+				FileSaved:    m.FileSavedFrac,
+				RPSRatio:     m.RPSRatio,
+				FaultP99Us:   m.FaultLatencyP99Us,
+				MemStallP99:  m.MemStallP99Us,
+				Refaults:     m.Refaults,
+				OOMEvents:    m.OOMEvents,
+				DCTaxSaved:   m.DCTaxSavingsOfTotal,
+				MicroTaxSave: m.MicroTaxSavingsOfTotal,
+			})
+		}
+		if err := cliutil.WriteJSON(os.Stdout, report); err != nil {
+			cliutil.Fatal("fleetsim", err)
+		}
+		return
+	}
+
 	for c := 0; c < len(mix); c++ {
 		classMeas := ms[c**replicas : (c+1)**replicas]
 		fmt.Println(classMeas[0])
@@ -97,13 +146,7 @@ func main() {
 	fmt.Println()
 	fmt.Print(telemetryTable(ms))
 
-	dc, micro := fleet.WeightedTaxSavings(ms)
-	var appSavings, wsum float64
-	for _, m := range ms {
-		appSavings += m.Spec.Weight * m.SavingsFrac
-		wsum += m.Spec.Weight
-	}
-	fmt.Printf("\nweighted application savings: %.1f%% of resident memory\n", 100*appSavings/wsum)
+	fmt.Printf("\nweighted application savings: %.1f%% of resident memory\n", 100*appSavings)
 	fmt.Printf("weighted tax savings: datacenter %.1f%% + microservice %.1f%% = %.1f%% of server memory\n",
 		100*dc, 100*micro, 100*(dc+micro))
 }

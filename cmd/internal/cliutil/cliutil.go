@@ -1,0 +1,86 @@
+// Package cliutil holds the flag-parsing and output helpers shared by the
+// simulator commands (tmosim, fleetsim, rolloutsim): duration flags carrying
+// virtual time, the offload-mode vocabulary, and the JSON report encoder.
+package cliutil
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tmo/internal/core"
+	"tmo/internal/vclock"
+)
+
+// ParseDuration converts a duration flag's value ("30m", "90s") to virtual
+// time, naming the flag in the error.
+func ParseDuration(name, value string) (vclock.Duration, error) {
+	d, err := time.ParseDuration(value)
+	if err != nil {
+		return 0, fmt.Errorf("bad -%s: %w", name, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("bad -%s: negative duration %v", name, d)
+	}
+	return vclock.FromStd(d), nil
+}
+
+// MustDuration is ParseDuration with command-line fatal semantics.
+func MustDuration(tool, name, value string) vclock.Duration {
+	d, err := ParseDuration(name, value)
+	if err != nil {
+		Fatal(tool, err)
+	}
+	return d
+}
+
+// ParseMode resolves the offload-mode vocabulary used by every command's
+// -mode flag.
+func ParseMode(s string) (core.Mode, error) {
+	switch s {
+	case "off":
+		return core.ModeOff, nil
+	case "file-only":
+		return core.ModeFileOnly, nil
+	case "zswap":
+		return core.ModeZswap, nil
+	case "ssd":
+		return core.ModeSSDSwap, nil
+	case "tiered":
+		return core.ModeTiered, nil
+	case "nvm":
+		return core.ModeNVM, nil
+	case "cxl":
+		return core.ModeCXL, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (off, file-only, zswap, ssd, tiered, nvm, cxl)", s)
+}
+
+// MustMode is ParseMode with command-line fatal semantics.
+func MustMode(tool, s string) core.Mode {
+	m, err := ParseMode(s)
+	if err != nil {
+		Fatal(tool, err)
+	}
+	return m
+}
+
+// WriteJSON renders v as indented JSON with a trailing newline — the shared
+// -json report encoder, so every command's machine output formats alike.
+func WriteJSON(w io.Writer, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Fatal prints "tool: err" to stderr and exits 1.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+
+	"tmo/internal/core"
+	"tmo/internal/vclock"
+)
+
+func TestParseDuration(t *testing.T) {
+	d, err := ParseDuration("warm", "90s")
+	if err != nil || d != 90*vclock.Second {
+		t.Fatalf("ParseDuration = %v, %v", d, err)
+	}
+	for _, bad := range []string{"", "nope", "-5m"} {
+		if _, err := ParseDuration("warm", bad); err == nil {
+			t.Errorf("ParseDuration(%q) accepted", bad)
+		} else if !strings.Contains(err.Error(), "-warm") {
+			t.Errorf("error %v does not name the flag", err)
+		}
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]core.Mode{
+		"off": core.ModeOff, "file-only": core.ModeFileOnly, "zswap": core.ModeZswap,
+		"ssd": core.ModeSSDSwap, "tiered": core.ModeTiered, "nvm": core.ModeNVM, "cxl": core.ModeCXL,
+	}
+	for s, want := range cases {
+		got, err := ParseMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseMode("floppy"); err == nil {
+		t.Fatalf("unknown mode accepted")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, map[string]int{"hosts": 4}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"hosts": 4`) || !strings.HasSuffix(out, "\n") {
+		t.Fatalf("unexpected JSON: %q", out)
+	}
+	if err := WriteJSON(&b, func() {}); err == nil {
+		t.Fatalf("unencodable value accepted")
+	}
+}

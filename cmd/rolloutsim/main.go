@@ -1,0 +1,146 @@
+// Command rolloutsim drives the fleet control plane: it stages a candidate
+// Senpai configuration across a simulated host population — canary cohort
+// first, then progressively wider stages — with guardrails on PSI overshoot,
+// throughput dips against the control cohort, OOM kills, and swap
+// exhaustion, rolling back to the baseline automatically when one trips.
+//
+// Usage:
+//
+//	rolloutsim [-hosts 12] [-mode zswap] [-window 30s] [-warm 4] [-bake 4]
+//	           [-canary 0.1] [-stage2 0.5] [-ratio-mult 10] [-aggressive]
+//	           [-crash 3@5m+2m] [-seed 42] [-events] [-json]
+//
+// The baseline configuration leaves offloading idle, so per-stage savings
+// measure the candidate against untouched control hosts. -aggressive swaps
+// in a deliberately unsafe candidate (the paper's Config B shape, probing
+// harder than its probe cap) to demonstrate a guardrail trip and rollback.
+// -crash host@at+dur schedules host churn; the flag repeats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tmo/cmd/internal/cliutil"
+	"tmo/internal/chaos"
+	"tmo/internal/fleet"
+	"tmo/internal/rollout"
+	"tmo/internal/senpai"
+	"tmo/internal/vclock"
+)
+
+// crashFlags collects repeatable -crash host@at+dur values.
+type crashFlags []rollout.Crash
+
+func (c *crashFlags) String() string { return fmt.Sprintf("%d crashes", len(*c)) }
+
+func (c *crashFlags) Set(v string) error {
+	var host int
+	var at, dur string
+	hostPart, timePart, ok := strings.Cut(v, "@")
+	if ok {
+		at, dur, ok = strings.Cut(timePart, "+")
+	}
+	if !ok {
+		return fmt.Errorf("crash %q not in host@at+dur form (e.g. 3@5m+2m)", v)
+	}
+	if _, err := fmt.Sscanf(hostPart, "%d", &host); err != nil {
+		return fmt.Errorf("crash %q: bad host index", v)
+	}
+	atD, err := cliutil.ParseDuration("crash", at)
+	if err != nil {
+		return err
+	}
+	durD, err := cliutil.ParseDuration("crash", dur)
+	if err != nil {
+		return err
+	}
+	*c = append(*c, rollout.Crash{
+		Host:     host,
+		Schedule: chaos.Schedule{At: vclock.Time(0).Add(atD), Dur: durD},
+	})
+	return nil
+}
+
+func main() {
+	hosts := flag.Int("hosts", 12, "fleet population size")
+	modeStr := flag.String("mode", "zswap", "offload mode: file-only, zswap, ssd, tiered, nvm, cxl")
+	windowStr := flag.String("window", "30s", "barrier window (virtual time)")
+	warm := flag.Int("warm", 4, "warm-up windows before the first stage")
+	bake := flag.Int("bake", 4, "windows each stage must hold its guardrails")
+	canary := flag.Float64("canary", 0.1, "canary cohort fraction")
+	stage2 := flag.Float64("stage2", 0.5, "second-stage cohort fraction")
+	scale := flag.Float64("scale", 0.5, "workload footprint scale")
+	ratioMult := flag.Float64("ratio-mult", 10, "candidate reclaim-ratio multiplier over production Config A")
+	aggressive := flag.Bool("aggressive", false, "roll out a deliberately unsafe candidate (Config B shape)")
+	seed := flag.Uint64("seed", 42, "rollout seed")
+	events := flag.Bool("events", false, "print the full rollout event log")
+	jsonOut := flag.Bool("json", false, "emit the scorecard as JSON instead of tables")
+	var crashes crashFlags
+	flag.Var(&crashes, "crash", "schedule host churn as host@at+dur (repeatable), e.g. 3@5m+2m")
+	flag.Parse()
+
+	mode := cliutil.MustMode("rolloutsim", *modeStr)
+	window := cliutil.MustDuration("rolloutsim", "window", *windowStr)
+
+	baseline := senpai.ConfigA()
+	baseline.ReclaimRatio = 0 // idle until the rollout acts
+
+	candidate := senpai.ConfigA()
+	candidate.ReclaimRatio *= *ratioMult
+	if *aggressive {
+		candidate.ReclaimRatio *= 12
+		candidate.MemPressureThreshold *= 50
+		candidate.IOPressureThreshold *= 10
+		candidate.MaxProbeFrac *= 5
+	}
+
+	mix := fleet.DefaultMix(mode, *seed)
+	specs := make([]fleet.Spec, *hosts)
+	for i := range specs {
+		s := mix[i%len(mix)]
+		s.WithTax = false
+		s.Scale = *scale
+		s.Seed = *seed + uint64(i)*7919
+		specs[i] = s
+	}
+
+	cfg := rollout.Config{
+		Hosts:     specs,
+		Baseline:  baseline,
+		Candidate: candidate,
+		Plan: []rollout.Stage{
+			{Name: "canary", Frac: *canary, Bake: *bake},
+			{Name: "stage-2", Frac: *stage2, Bake: *bake},
+			{Name: "fleet", Frac: 1.0, Bake: *bake},
+		},
+		Window:      window,
+		WarmWindows: *warm,
+		Seed:        *seed,
+		Crashes:     crashes,
+	}
+
+	if !*jsonOut {
+		fmt.Printf("rolloutsim: %d hosts on %s, window %s, plan", *hosts, mode, window)
+		for _, st := range cfg.Plan {
+			fmt.Printf(" %s=%.0f%%", st.Name, 100*st.Frac)
+		}
+		fmt.Printf(", candidate ratio %.4f (threshold %.4f)\n\n",
+			candidate.ReclaimRatio, candidate.MemPressureThreshold)
+	}
+
+	r := rollout.New(cfg).Run()
+
+	if *jsonOut {
+		if err := cliutil.WriteJSON(os.Stdout, r); err != nil {
+			cliutil.Fatal("rolloutsim", err)
+		}
+		return
+	}
+	fmt.Println(r.Render())
+	if *events {
+		fmt.Printf("\nrollout event log:\n%s", r.EventLog())
+	}
+}

@@ -20,8 +20,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"time"
 
+	"tmo/cmd/internal/cliutil"
 	"tmo/internal/cgroup"
 	"tmo/internal/core"
 	"tmo/internal/psi"
@@ -58,18 +58,9 @@ func main() {
 		return
 	}
 
-	mode, err := parseMode(*modeStr)
-	if err != nil {
-		fatal(err)
-	}
-	dur, err := time.ParseDuration(*durStr)
-	if err != nil {
-		fatal(fmt.Errorf("bad -duration: %w", err))
-	}
-	report, err := time.ParseDuration(*reportStr)
-	if err != nil {
-		fatal(fmt.Errorf("bad -report: %w", err))
-	}
+	mode := cliutil.MustMode("tmosim", *modeStr)
+	dur := cliutil.MustDuration("tmosim", "duration", *durStr)
+	report := cliutil.MustDuration("tmosim", "report", *reportStr)
 	prof, err := workload.Catalog(*appName)
 	if err != nil {
 		fatal(err)
@@ -95,7 +86,7 @@ func main() {
 		}
 	}
 
-	fmt.Printf("tmosim: %s on %s, %d MiB DRAM, SSD %s, %v\n\n",
+	fmt.Printf("tmosim: %s on %s, %d MiB DRAM, SSD %s, %s\n\n",
 		prof.Name, mode, capacity/workload.MiB, *device, dur)
 	fmt.Printf("%-8s %-10s %-10s %-10s %-9s %-9s %-9s %-8s\n",
 		"time", "resident", "pool", "swapped", "mem-psi", "io-psi", "rps", "swapins/s")
@@ -115,9 +106,8 @@ func main() {
 
 	var lastCompleted, lastSwapIns int64
 	var lastMem, lastIO vclock.Duration
-	step := vclock.FromStd(report)
-	total := vclock.FromStd(dur)
-	for elapsed := vclock.Duration(0); elapsed < total; elapsed += step {
+	step := report
+	for elapsed := vclock.Duration(0); elapsed < dur; elapsed += step {
 		sys.Run(step)
 		now := sys.Server.Now()
 		m := sys.Metrics()
@@ -204,26 +194,6 @@ func writeFile(path string, write func(io.Writer) error) {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-}
-
-func parseMode(s string) (core.Mode, error) {
-	switch s {
-	case "off":
-		return core.ModeOff, nil
-	case "file-only":
-		return core.ModeFileOnly, nil
-	case "zswap":
-		return core.ModeZswap, nil
-	case "ssd":
-		return core.ModeSSDSwap, nil
-	case "tiered":
-		return core.ModeTiered, nil
-	case "nvm":
-		return core.ModeNVM, nil
-	case "cxl":
-		return core.ModeCXL, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q (off, file-only, zswap, ssd, tiered, nvm, cxl)", s)
 }
 
 func fatal(err error) {

@@ -69,6 +69,16 @@ func (s Spec) appProfile() workload.Profile {
 	return workload.MustCatalog(s.App).Scale(scale)
 }
 
+// BuildHost assembles one standalone server for the spec in the spec's own
+// mode and returns it with its primary app. The rollout control plane builds
+// fleet members this way: unlike Measure it runs no A/B pair — the caller
+// owns the system's clock and telemetry for the life of the host.
+func BuildHost(s Spec) (*core.System, *workload.App) {
+	s = s.normalize()
+	sys, app, _, _ := buildSystem(s, s.Mode)
+	return sys, app
+}
+
 // runStats is what one run of one server yields over the measurement
 // window: time-averaged resident bytes by group kind and page type, plus
 // request throughput.
@@ -284,6 +294,21 @@ func MeasureAll(specs []Spec, warm, measure vclock.Duration) []Measurement {
 	close(idx)
 	wg.Wait()
 	return out
+}
+
+// WeightedAppSavings aggregates application resident-memory savings across a
+// fleet mix by population weight (the Fig. 9 fleet number; fleetsim's
+// bottom line).
+func WeightedAppSavings(ms []Measurement) float64 {
+	var sum, wsum float64
+	for _, m := range ms {
+		sum += m.Spec.Weight * m.SavingsFrac
+		wsum += m.Spec.Weight
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
 }
 
 // WeightedTaxSavings aggregates tax savings across a fleet mix, returning

@@ -18,12 +18,45 @@ func fastSenpai() *senpai.Config {
 
 func TestSpecNormalize(t *testing.T) {
 	s := Spec{App: "feed"}.normalize()
-	if s.Device != "C" || s.Weight != 1 {
+	if s.Device != "C" || s.Weight != 1 || s.Scale != 1 {
 		t.Fatalf("defaults not applied: %+v", s)
 	}
 	want := 2 * workload.MustCatalog("feed").FootprintBytes
 	if s.CapacityBytes != want {
 		t.Fatalf("capacity default = %d, want %d", s.CapacityBytes, want)
+	}
+
+	// Explicit values survive normalization, and the capacity default
+	// follows the spec's scale.
+	s = Spec{App: "feed", Device: "A", Scale: 0.5, Weight: 3}.normalize()
+	if s.Device != "A" || s.Weight != 3 || s.Scale != 0.5 {
+		t.Fatalf("explicit fields clobbered: %+v", s)
+	}
+	scaled := 2 * workload.MustCatalog("feed").Scale(0.5).FootprintBytes
+	if s.CapacityBytes != scaled {
+		t.Fatalf("scaled capacity default = %d, want %d", s.CapacityBytes, scaled)
+	}
+	if scaled >= want {
+		t.Fatalf("scaling did not shrink the default capacity (%d vs %d)", scaled, want)
+	}
+}
+
+func TestWeightedAppSavings(t *testing.T) {
+	ms := []Measurement{
+		{Spec: Spec{Weight: 1}, SavingsFrac: 0.20},
+		{Spec: Spec{Weight: 3}, SavingsFrac: 0.08},
+	}
+	approx := func(got, want float64) bool { return got > want-1e-12 && got < want+1e-12 }
+	if got := WeightedAppSavings(ms); !approx(got, 0.11) {
+		t.Fatalf("weighted app savings = %v, want 0.11", got)
+	}
+	// Equal weights degrade to the arithmetic mean.
+	ms[1].Spec.Weight = 1
+	if got := WeightedAppSavings(ms); !approx(got, 0.14) {
+		t.Fatalf("equal-weight savings = %v, want 0.14", got)
+	}
+	if got := WeightedAppSavings(nil); got != 0 {
+		t.Fatalf("empty aggregate = %v, want 0", got)
 	}
 }
 

@@ -1,0 +1,143 @@
+package rollout
+
+import (
+	"fmt"
+	"strings"
+
+	"tmo/internal/textplot"
+	"tmo/internal/trace"
+	"tmo/internal/vclock"
+)
+
+// StageReport is one stage's verdict and the telemetry it was judged on.
+type StageReport struct {
+	// Stage is the plan entry the report covers.
+	Stage Stage
+	// Windows is how many barrier windows contributed samples.
+	Windows int
+	// Stats is the cumulative cohort telemetry at the verdict.
+	Stats CohortStats
+	// SavingsFrac is the treated cohort's mean resident-memory savings
+	// relative to the control cohort over the stage.
+	SavingsFrac float64
+	// Verdict is "advance", "complete", or "rollback".
+	Verdict string
+	// Tripped names the guardrail that forced a rollback verdict.
+	Tripped string
+	// Detail is the tripped guardrail's human-readable evidence.
+	Detail string
+}
+
+// HostReport is one host's lifecycle summary.
+type HostReport struct {
+	Index       int
+	App         string
+	Crashes     int
+	Rejoins     int
+	OOMKills    int64
+	SwapLatched bool
+	// OnCandidate reports whether the host ended the run on the candidate
+	// configuration.
+	OnCandidate bool
+}
+
+// Result is the rollout scorecard.
+type Result struct {
+	// State is the terminal controller state (completed or rolled back).
+	State State
+	// TrippedGuardrail names the guardrail that forced rollback, if any.
+	TrippedGuardrail string
+	// Stages holds one report per stage verdict, in plan order.
+	Stages []StageReport
+	// Hosts summarizes every fleet member in population order.
+	Hosts []HostReport
+	// Events is the deterministic rollout decision log.
+	Events []trace.Event
+	// CanaryHosts is the size of the first-stage cohort.
+	CanaryHosts int
+	// Window is the barrier window length.
+	Window vclock.Duration
+	// Duration is the total virtual time simulated.
+	Duration vclock.Duration
+}
+
+// Completed reports whether the candidate reached the full fleet.
+func (r Result) Completed() bool { return r.State == StateCompleted }
+
+// RolledBack reports whether a guardrail forced the baseline back.
+func (r Result) RolledBack() bool { return r.State == StateRolledBack }
+
+// OOMKillsOutsideCanary counts OOM kills on hosts beyond the canary cohort —
+// the blast-radius number a staged rollout exists to keep at zero.
+func (r Result) OOMKillsOutsideCanary() int64 {
+	var n int64
+	for _, h := range r.Hosts {
+		if h.Index >= r.CanaryHosts {
+			n += h.OOMKills
+		}
+	}
+	return n
+}
+
+// EventLog renders the decision log one event per line. Same config and
+// seed produce byte-identical output — the regression tests pin this.
+func (r Result) EventLog() string {
+	var b strings.Builder
+	for _, e := range r.Events {
+		b.WriteString(e.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Render formats the scorecard for terminal output.
+func (r Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rollout %s after %s (%d barrier windows of %s)\n",
+		r.State, r.Duration, int(r.Duration/r.Window), r.Window)
+	if r.TrippedGuardrail != "" {
+		fmt.Fprintf(&b, "guardrail tripped: %s\n", r.TrippedGuardrail)
+	}
+	b.WriteString("\n")
+
+	rows := [][]string{{"stage", "frac", "hosts", "windows", "psi-avg", "rps-ratio", "oom", "latched", "savings", "verdict"}}
+	for _, s := range r.Stages {
+		verdict := s.Verdict
+		if s.Tripped != "" {
+			verdict += " (" + s.Tripped + ")"
+		}
+		rows = append(rows, []string{
+			s.Stage.Name,
+			fmt.Sprintf("%.0f%%", 100*s.Stage.Frac),
+			fmt.Sprintf("%d", s.Stats.Hosts),
+			fmt.Sprintf("%d", s.Windows),
+			fmt.Sprintf("%.4f", s.Stats.MemPressure),
+			fmt.Sprintf("%.3f", s.Stats.RPSRatio),
+			fmt.Sprintf("%d", s.Stats.OOMKills),
+			fmt.Sprintf("%d", s.Stats.SwapLatched),
+			fmt.Sprintf("%.1f%%", 100*s.SavingsFrac),
+			verdict,
+		})
+	}
+	b.WriteString(textplot.Table(rows))
+	b.WriteString("\n")
+
+	rows = [][]string{{"host", "app", "crashes", "rejoins", "oom", "latched", "config"}}
+	for _, h := range r.Hosts {
+		cfg := "baseline"
+		if h.OnCandidate {
+			cfg = "candidate"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", h.Index),
+			h.App,
+			fmt.Sprintf("%d", h.Crashes),
+			fmt.Sprintf("%d", h.Rejoins),
+			fmt.Sprintf("%d", h.OOMKills),
+			fmt.Sprintf("%v", h.SwapLatched),
+			cfg,
+		})
+	}
+	b.WriteString(textplot.Table(rows))
+	return b.String()
+}

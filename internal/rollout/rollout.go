@@ -1,0 +1,813 @@
+// Package rollout is the fleet control plane: it deploys a candidate Senpai
+// configuration across a population of simulated hosts the way TMO itself
+// reached Meta's fleet — in stages (canary → wider cohorts → fleet-wide),
+// watched through aggregated PSI and throughput telemetry, and automatically
+// rolled back to the baseline configuration when a guardrail trips.
+//
+// The controller owns the hosts (built from fleet.Spec) and advances them in
+// fixed virtual-time windows. Hosts within a window run concurrently on a
+// bounded worker pool — each host is a self-contained seeded simulation, so
+// scheduling order cannot affect results — but every control decision (stage
+// advancement, guardrail verdicts, rollback, host lifecycle) is taken
+// single-threaded at the window barrier. The same configuration and seed
+// therefore produce a byte-identical rollout event log, even under host
+// churn: crash schedules are evaluated deterministically on the rollout
+// clock via the chaos engine, and a crashed host rejoins with whatever
+// configuration its cohort is entitled to at rejoin time.
+package rollout
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"tmo/internal/chaos"
+	"tmo/internal/core"
+	"tmo/internal/fleet"
+	"tmo/internal/psi"
+	"tmo/internal/senpai"
+	"tmo/internal/telemetry"
+	"tmo/internal/trace"
+	"tmo/internal/vclock"
+	"tmo/internal/workload"
+)
+
+// Stage is one step of the rollout plan. Hosts are enrolled in index order:
+// a stage with Frac f covers the first ceil(f·N) hosts of the population.
+type Stage struct {
+	// Name labels the stage in reports and the event log.
+	Name string
+	// Frac is the cumulative fraction of the fleet enrolled at this stage.
+	Frac float64
+	// Bake is how many barrier windows the stage must hold its guardrails
+	// before the rollout may advance past it.
+	Bake int
+}
+
+// DefaultPlan is the paper's deployment shape: a small canary, a wider
+// confidence cohort, then the fleet.
+func DefaultPlan() []Stage {
+	return []Stage{
+		{Name: "canary", Frac: 0.05, Bake: 4},
+		{Name: "stage-2", Frac: 0.25, Bake: 4},
+		{Name: "fleet", Frac: 1.00, Bake: 4},
+	}
+}
+
+// Guardrails are the per-stage safety thresholds evaluated from aggregated
+// host telemetry. A zero threshold disables its check except for the OOM and
+// swap-latch counts, whose zero values mean "none tolerated".
+type Guardrails struct {
+	// MaxMemPressure bounds the treated cohort's mean windowed memory
+	// some-pressure (the PSI overshoot guardrail).
+	MaxMemPressure float64
+	// MaxRPSDip bounds the treated cohort's throughput dip relative to the
+	// control cohort: the rollout trips when treated RPS falls below
+	// (1 − MaxRPSDip) × control RPS (both baseline-normalized per host).
+	MaxRPSDip float64
+	// MaxOOMKills bounds OOM kills within the treated cohort per stage.
+	MaxOOMKills int64
+	// SwapUtilizationLatch is the swap-backend utilization at which a host
+	// latches swap exhaustion; the latch is sticky for the host's life.
+	SwapUtilizationLatch float64
+	// MaxSwapLatched bounds how many latched treated hosts a stage tolerates.
+	MaxSwapLatched int
+}
+
+// DefaultGuardrails returns production-shaped thresholds: pressure well
+// above Senpai's ConfigA operating point (~0.1% memory-some) but far below a
+// regressing host, a 10% throughput budget, and zero tolerance for OOM kills
+// or swap exhaustion.
+func DefaultGuardrails() Guardrails {
+	return Guardrails{
+		MaxMemPressure:       0.005,
+		MaxRPSDip:            0.10,
+		MaxOOMKills:          0,
+		SwapUtilizationLatch: 0.95,
+		MaxSwapLatched:       0,
+	}
+}
+
+// CohortStats is one stage's aggregated treated-cohort telemetry — the
+// inputs the guardrails judge.
+type CohortStats struct {
+	// Hosts is how many treated hosts contributed samples.
+	Hosts int
+	// MemPressure is the mean windowed memory some-pressure.
+	MemPressure float64
+	// RPSRatio is treated throughput over control-cohort throughput, each
+	// host normalized by its own pre-rollout baseline first.
+	RPSRatio float64
+	// OOMKills counts treated-cohort OOM kills during the stage.
+	OOMKills int64
+	// SwapLatched counts treated hosts whose swap-exhaustion latch is set.
+	SwapLatched int
+}
+
+// Check evaluates the guardrails over s. It returns the name of the first
+// violated guardrail ("oom", "psi", "rps", "swap") with a human-readable
+// detail, or "" when every guardrail holds. With no contributing hosts there
+// is no evidence either way and the check passes.
+func (g Guardrails) Check(s CohortStats) (guardrail, detail string) {
+	if s.Hosts == 0 {
+		return "", ""
+	}
+	if s.OOMKills > g.MaxOOMKills {
+		return "oom", fmt.Sprintf("%d OOM kills in treated cohort (max %d)", s.OOMKills, g.MaxOOMKills)
+	}
+	if g.MaxMemPressure > 0 && s.MemPressure > g.MaxMemPressure {
+		return "psi", fmt.Sprintf("mean mem-some pressure %.4f over %.4f", s.MemPressure, g.MaxMemPressure)
+	}
+	if g.MaxRPSDip > 0 && s.RPSRatio < 1-g.MaxRPSDip {
+		return "rps", fmt.Sprintf("throughput ratio %.3f below %.3f", s.RPSRatio, 1-g.MaxRPSDip)
+	}
+	if s.SwapLatched > g.MaxSwapLatched {
+		return "swap", fmt.Sprintf("%d hosts latched swap exhaustion (max %d)", s.SwapLatched, g.MaxSwapLatched)
+	}
+	return "", ""
+}
+
+// Crash schedules host churn: the host is down while the chaos schedule is
+// active (evaluated on the rollout clock at window granularity) and rejoins
+// at the first barrier after it clears.
+type Crash struct {
+	// Host indexes Config.Hosts.
+	Host int
+	// Schedule shapes the outage; Dur bounds it, Every re-arms it.
+	Schedule chaos.Schedule
+}
+
+// Config describes one staged rollout.
+type Config struct {
+	// Hosts is the fleet population. Specs must use an offloading mode
+	// (Senpai must exist for configurations to be pushed to).
+	Hosts []fleet.Spec
+	// Baseline is the configuration the fleet starts on and rolls back to.
+	Baseline senpai.Config
+	// Candidate is the configuration under rollout.
+	Candidate senpai.Config
+	// Plan is the stage sequence; default DefaultPlan.
+	Plan []Stage
+	// Guardrails are the stage safety thresholds; default DefaultGuardrails.
+	Guardrails Guardrails
+	// Window is the barrier window length; default 30s of virtual time.
+	Window vclock.Duration
+	// WarmWindows is how many windows a host runs before it contributes to
+	// cohort aggregates; its pre-rollout RPS/resident baselines are recorded
+	// at the end of warm-up. Default 4, minimum 2.
+	WarmWindows int
+	// SettleWindows run after completion or rollback so the event log
+	// captures the fleet settling; default 2.
+	SettleWindows int
+	// Workers bounds the host worker pool; default 4.
+	Workers int
+	// Seed derives the crash schedules' random streams.
+	Seed uint64
+	// Crashes is the host-churn schedule.
+	Crashes []Crash
+}
+
+// normalize fills defaults and validates, panicking on unusable configs the
+// way core.New does.
+func (cfg Config) normalize() Config {
+	if len(cfg.Hosts) == 0 {
+		panic("rollout: Hosts required")
+	}
+	for _, s := range cfg.Hosts {
+		if s.Mode == core.ModeOff {
+			panic("rollout: host specs need an offloading mode (got off for " + s.App + ")")
+		}
+	}
+	if cfg.Baseline.Interval <= 0 || cfg.Candidate.Interval <= 0 {
+		panic("rollout: Baseline and Candidate configs required")
+	}
+	if len(cfg.Plan) == 0 {
+		cfg.Plan = DefaultPlan()
+	}
+	prev := 0.0
+	for i, st := range cfg.Plan {
+		if st.Frac <= 0 || st.Frac > 1 {
+			panic(fmt.Sprintf("rollout: stage %d frac %v outside (0, 1]", i, st.Frac))
+		}
+		if st.Frac < prev {
+			panic(fmt.Sprintf("rollout: stage %d frac %v shrinks the cohort", i, st.Frac))
+		}
+		prev = st.Frac
+		if st.Bake < 1 {
+			cfg.Plan[i].Bake = 1
+		}
+	}
+	if (cfg.Guardrails == Guardrails{}) {
+		cfg.Guardrails = DefaultGuardrails()
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 30 * vclock.Second
+	}
+	switch {
+	case cfg.WarmWindows <= 0:
+		cfg.WarmWindows = 4
+	case cfg.WarmWindows < 2:
+		cfg.WarmWindows = 2
+	}
+	if cfg.SettleWindows <= 0 {
+		cfg.SettleWindows = 2
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	for _, cr := range cfg.Crashes {
+		if cr.Host < 0 || cr.Host >= len(cfg.Hosts) {
+			panic(fmt.Sprintf("rollout: crash host %d out of range", cr.Host))
+		}
+	}
+	return cfg
+}
+
+// State is where the rollout stands.
+type State int
+
+// The rollout states, in lifecycle order.
+const (
+	// StateWarming runs every host on the baseline until warm-up completes.
+	StateWarming State = iota
+	// StateStaging bakes the current stage under guardrail watch.
+	StateStaging
+	// StateCompleted means the candidate reached the full fleet.
+	StateCompleted
+	// StateRolledBack means a guardrail tripped and the baseline was
+	// restored everywhere.
+	StateRolledBack
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateWarming:
+		return "warming"
+	case StateStaging:
+		return "staging"
+	case StateCompleted:
+		return "completed"
+	case StateRolledBack:
+		return "rolled-back"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// host is one fleet member and its control-plane bookkeeping.
+type host struct {
+	index int
+	spec  fleet.Spec
+
+	sys     *core.System
+	app     *workload.App
+	swapCap int64
+
+	// Lifecycle: wantDown is written by the chaos crash fault (evaluated
+	// single-threaded at the barrier); down/incarnation track the applied
+	// state.
+	wantDown    bool
+	down        bool
+	incarnation int
+	crashes     int
+	rejoins     int
+	upWindows   int
+
+	// candidate reports which configuration cohort the host is in.
+	candidate bool
+
+	// Window sampling state.
+	lastMem       vclock.Duration
+	lastCompleted int64
+	lastOOMs      int64
+
+	// Last window's outputs.
+	winPressure float64
+	winRPS      float64
+	winOOMs     int64
+	resident    float64
+
+	// Accumulated over the host's life.
+	oomTotal    int64
+	swapLatched bool
+
+	// Pre-rollout reference recorded at the end of the first warm-up; kept
+	// across crashes so a rejoined host is judged against its class norm.
+	baselineSet      bool
+	warmRPSSum       float64
+	baselineRPS      float64
+	baselineResident float64
+}
+
+// eligible reports whether the host's telemetry belongs in cohort
+// aggregates: up, past warm-up since its last (re)join, with a recorded
+// baseline.
+func (h *host) eligible(warm int) bool {
+	return !h.down && h.baselineSet && h.upWindows >= warm
+}
+
+// Controller drives one staged rollout.
+type Controller struct {
+	cfg   Config
+	hosts []*host
+	eng   *chaos.Engine
+
+	reg *telemetry.Registry
+	log *trace.Log
+	rec *trace.Recorder
+
+	now        vclock.Time
+	window     int
+	state      State
+	stageIdx   int
+	treated    int
+	settleLeft int
+	tripped    string
+
+	acc     stageAccum
+	events  []trace.Event
+	reports []StageReport
+
+	telAdvance, telRollback, telPush, telCrash, telRejoin *telemetry.Counter
+}
+
+// stageAccum accumulates one stage's window aggregates. Only windows with at
+// least one contributing treated host count toward the bake.
+type stageAccum struct {
+	windows     int
+	pressureSum float64
+	rpsRatioSum float64
+	savingsSum  float64
+	ooms        int64
+	latched     int
+	hosts       int
+}
+
+// cohort folds the accumulator into the stats the guardrails judge.
+func (a stageAccum) cohort() CohortStats {
+	s := CohortStats{Hosts: a.hosts, OOMKills: a.ooms, SwapLatched: a.latched, RPSRatio: 1}
+	if a.windows > 0 {
+		s.MemPressure = a.pressureSum / float64(a.windows)
+		s.RPSRatio = a.rpsRatioSum / float64(a.windows)
+	}
+	return s
+}
+
+// savings is the accumulated stage-mean resident savings of the treated
+// cohort relative to control.
+func (a stageAccum) savings() float64 {
+	if a.windows == 0 {
+		return 0
+	}
+	return a.savingsSum / float64(a.windows)
+}
+
+// New builds the fleet (every host starts on the baseline configuration)
+// and arms the crash schedules.
+func New(cfg Config) *Controller {
+	cfg = cfg.normalize()
+	c := &Controller{
+		cfg: cfg,
+		reg: telemetry.NewRegistry(),
+		log: trace.NewLog(4096),
+		rec: trace.NewRecorder(1 << 14),
+	}
+	c.telAdvance = c.reg.Counter("rollout.stage_advances")
+	c.telRollback = c.reg.Counter("rollout.rollbacks")
+	c.telPush = c.reg.Counter("rollout.config_pushes")
+	c.telCrash = c.reg.Counter("rollout.host_crashes")
+	c.telRejoin = c.reg.Counter("rollout.host_rejoins")
+	c.reg.GaugeFunc("rollout.stage", func() float64 { return float64(c.stageIdx) })
+	c.reg.GaugeFunc("rollout.treated_hosts", func() float64 { return float64(c.treated) })
+
+	for i, s := range cfg.Hosts {
+		h := &host{index: i, spec: s}
+		c.buildHost(h)
+		c.hosts = append(c.hosts, h)
+	}
+
+	c.eng = chaos.NewEngine(chaos.Host{
+		Seed:      cfg.Seed ^ 0x5011011, // distinct stream from any host's own seed
+		Telemetry: c.reg,
+		Trace:     c.log,
+		Recorder:  c.rec,
+	})
+	for _, cr := range cfg.Crashes {
+		h := c.hosts[cr.Host]
+		c.eng.Add(fmt.Sprintf("host-%d", cr.Host),
+			chaos.FaultFunc("host-crash", func(_ vclock.Time, level float64) {
+				h.wantDown = level > 0
+			}), cr.Schedule)
+	}
+	return c
+}
+
+// Telemetry exposes the control plane's metrics registry (stage gauges,
+// rollback/push/lifecycle counters, chaos injections).
+func (c *Controller) Telemetry() *telemetry.Registry { return c.reg }
+
+// Recorder exposes the span recorder carrying rollout instants for
+// Chrome-trace export.
+func (c *Controller) Recorder() *trace.Recorder { return c.rec }
+
+// buildHost assembles (or reassembles, after a crash) the host's simulation
+// with the configuration its cohort is currently entitled to. Incarnations
+// perturb the seed so a rebooted host does not replay its previous life.
+func (c *Controller) buildHost(h *host) {
+	spec := h.spec
+	cfg := c.cfg.Baseline
+	if h.candidate {
+		cfg = c.cfg.Candidate
+	}
+	spec.Senpai = &cfg
+	spec.Seed = h.spec.Seed + uint64(h.incarnation)*0x9e3779b9
+	sys, app := fleet.BuildHost(spec)
+	h.sys, h.app = sys, app
+	h.swapCap = swapCapacity(sys)
+	h.lastMem, h.lastCompleted, h.lastOOMs = 0, 0, 0
+	h.upWindows = 0
+}
+
+// swapCapacity resolves the host's total offload capacity for the
+// swap-exhaustion latch (mirrors core.System.Chaos's sizing).
+func swapCapacity(sys *core.System) int64 {
+	switch {
+	case sys.Tiered != nil:
+		return sys.Zswap.MaxPoolBytes() + sys.SSDSwap.Capacity()
+	case sys.SSDSwap != nil:
+		return sys.SSDSwap.Capacity()
+	case sys.Zswap != nil:
+		return sys.Zswap.MaxPoolBytes()
+	case sys.NVM != nil:
+		return sys.Opts.SwapBytes
+	}
+	return 0
+}
+
+// hostName labels a host in the event log.
+func (c *Controller) hostName(h *host) string {
+	return fmt.Sprintf("host-%d/%s", h.index, h.spec.App)
+}
+
+// record appends to the deterministic rollout event log and mirrors the
+// event into the decision log and span timeline.
+func (c *Controller) record(kind trace.Kind, subject, format string, args ...any) {
+	e := trace.Event{Time: c.now, Kind: kind, Subject: subject, Detail: fmt.Sprintf(format, args...)}
+	c.events = append(c.events, e)
+	c.log.Emit(c.now, kind, subject, "%s", e.Detail)
+	c.rec.Instant(c.now, kind, subject, nil)
+}
+
+// Run executes the whole plan — warm-up, stages, and the settle tail after
+// completion or rollback — and returns the scorecard.
+func (c *Controller) Run() Result {
+	for {
+		c.lifecycle()
+		c.advance()
+		c.now = c.now.Add(c.cfg.Window)
+		c.window++
+		if c.barrier() {
+			return c.result()
+		}
+	}
+}
+
+// candidateOn reports whether host index i is currently entitled to the
+// candidate configuration.
+func (c *Controller) candidateOn(i int) bool {
+	return c.tripped == "" && i < c.treated
+}
+
+// lifecycle evaluates the crash schedules at the current barrier and applies
+// pending transitions: a crashing host's simulation is discarded; a
+// rejoining host boots a fresh incarnation with the configuration its cohort
+// is entitled to right now.
+func (c *Controller) lifecycle() {
+	c.eng.Tick(c.now)
+	for _, h := range c.hosts {
+		switch {
+		case h.wantDown && !h.down:
+			h.down = true
+			h.crashes++
+			h.sys, h.app = nil, nil
+			c.telCrash.Inc()
+			c.record(trace.KindHostCrash, c.hostName(h), "incarnation %d down", h.incarnation)
+		case !h.wantDown && h.down:
+			h.down = false
+			h.incarnation++
+			h.rejoins++
+			h.candidate = c.candidateOn(h.index)
+			c.buildHost(h)
+			cfgName := "baseline"
+			if h.candidate {
+				cfgName = "candidate"
+			}
+			c.telRejoin.Inc()
+			c.record(trace.KindHostRejoin, c.hostName(h), "incarnation %d up, config=%s", h.incarnation, cfgName)
+		}
+	}
+}
+
+// advance runs every live host through the next window on the worker pool.
+// Each worker writes only its own host's fields, and aggregation happens
+// later in index order, so concurrency cannot perturb results.
+func (c *Controller) advance() {
+	var up []*host
+	for _, h := range c.hosts {
+		if !h.down {
+			up = append(up, h)
+		}
+	}
+	workers := c.cfg.Workers
+	if workers > len(up) {
+		workers = len(up)
+	}
+	if workers < 1 {
+		return
+	}
+	idx := make(chan *host)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for h := range idx {
+				c.advanceHost(h)
+			}
+		}()
+	}
+	for _, h := range up {
+		idx <- h
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// advanceHost runs one host for a window and samples its telemetry.
+func (c *Controller) advanceHost(h *host) {
+	h.sys.Run(c.cfg.Window)
+	now := h.sys.Server.Now()
+	tr := h.app.Group.PSI()
+	tr.Sync(now)
+	memTot := tr.Total(psi.Memory, psi.Some)
+	h.winPressure = psi.WindowedPressure(h.lastMem, memTot, c.cfg.Window)
+	h.lastMem = memTot
+
+	completed := h.app.Completed()
+	h.winRPS = float64(completed-h.lastCompleted) / c.cfg.Window.Seconds()
+	h.lastCompleted = completed
+
+	ooms := h.sys.Metrics().OOMEvents
+	h.winOOMs = ooms - h.lastOOMs
+	h.lastOOMs = ooms
+	h.oomTotal += h.winOOMs
+
+	h.resident = float64(h.sys.NetResidentBytes())
+	if h.swapCap > 0 {
+		if sw := h.sys.Server.Swap(); sw != nil {
+			if float64(sw.Stats().StoredBytes) >= c.cfg.Guardrails.SwapUtilizationLatch*float64(h.swapCap) {
+				h.swapLatched = true
+			}
+		}
+	}
+
+	h.upWindows++
+	if !h.baselineSet {
+		// Skip the first window (boot transient), average the rest of the
+		// warm-up into the host's throughput norm.
+		if h.upWindows >= 2 {
+			h.warmRPSSum += h.winRPS
+		}
+		if h.upWindows >= c.cfg.WarmWindows {
+			h.baselineRPS = h.warmRPSSum / float64(h.upWindows-1)
+			h.baselineResident = h.resident
+			h.baselineSet = true
+		}
+	}
+}
+
+// windowStats aggregates the window just completed: treated-cohort pressure,
+// baseline-normalized throughput against the control cohort, OOM kills,
+// swap latches, and resident savings vs control.
+func (c *Controller) windowStats() (stats CohortStats, savings float64) {
+	var treatedP, treatedRPS, controlRPS, treatedRes, controlRes float64
+	nT, nC := 0, 0
+	for _, h := range c.hosts {
+		if h.down {
+			continue
+		}
+		if h.candidate {
+			stats.OOMKills += h.winOOMs
+			if h.swapLatched {
+				stats.SwapLatched++
+			}
+		}
+		if !h.eligible(c.cfg.WarmWindows) {
+			continue
+		}
+		rpsNorm, resNorm := 1.0, 1.0
+		if h.baselineRPS > 0 {
+			rpsNorm = h.winRPS / h.baselineRPS
+		}
+		if h.baselineResident > 0 {
+			resNorm = h.resident / h.baselineResident
+		}
+		if h.candidate {
+			nT++
+			treatedP += h.winPressure
+			treatedRPS += rpsNorm
+			treatedRes += resNorm
+		} else {
+			nC++
+			controlRPS += rpsNorm
+			controlRes += resNorm
+		}
+	}
+	stats.Hosts = nT
+	stats.RPSRatio = 1
+	if nT == 0 {
+		return stats, 0
+	}
+	stats.MemPressure = treatedP / float64(nT)
+	tRPS, cRPS := treatedRPS/float64(nT), 1.0
+	tRes, cRes := treatedRes/float64(nT), 1.0
+	if nC > 0 {
+		cRPS = controlRPS / float64(nC)
+		cRes = controlRes / float64(nC)
+	}
+	if cRPS > 0 {
+		stats.RPSRatio = tRPS / cRPS
+	} else {
+		stats.RPSRatio = tRPS
+	}
+	if cRes > 0 {
+		savings = 1 - tRes/cRes
+	}
+	return stats, savings
+}
+
+// barrier is the single-threaded decision point after every window. It
+// returns true when the rollout (including its settle tail) is over.
+func (c *Controller) barrier() bool {
+	switch c.state {
+	case StateWarming:
+		if c.window >= c.cfg.WarmWindows {
+			c.beginStage(0)
+		}
+	case StateStaging:
+		stats, savings := c.windowStats()
+		if stats.Hosts > 0 {
+			c.acc.windows++
+			c.acc.pressureSum += stats.MemPressure
+			c.acc.rpsRatioSum += stats.RPSRatio
+			c.acc.savingsSum += savings
+			c.acc.hosts = stats.Hosts
+		}
+		c.acc.ooms = stats.OOMKills + c.acc.ooms
+		c.acc.latched = stats.SwapLatched
+		cum := c.acc.cohort()
+		if g, detail := c.cfg.Guardrails.Check(cum); g != "" {
+			c.rollback(g, detail, cum)
+		} else if c.acc.windows >= c.cfg.Plan[c.stageIdx].Bake {
+			c.finishStage(cum)
+		}
+	case StateCompleted, StateRolledBack:
+		c.settleLeft--
+		if c.settleLeft <= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// beginStage enrolls the stage's cohort and pushes the candidate
+// configuration to its newly treated live hosts.
+func (c *Controller) beginStage(i int) {
+	c.stageIdx = i
+	c.state = StateStaging
+	c.acc = stageAccum{}
+	st := c.cfg.Plan[i]
+	want := int(math.Ceil(st.Frac * float64(len(c.hosts))))
+	if want > len(c.hosts) {
+		want = len(c.hosts)
+	}
+	if want < 1 {
+		want = 1
+	}
+	c.treated = want
+	pushed := 0
+	for _, h := range c.hosts[:want] {
+		if h.candidate {
+			continue
+		}
+		h.candidate = true
+		if !h.down {
+			h.sys.Senpai.SetConfig(c.cfg.Candidate)
+			c.telPush.Inc()
+			pushed++
+		}
+	}
+	c.record(trace.KindRolloutStage, st.Name,
+		"begin: %d/%d hosts on candidate (%d pushed)", want, len(c.hosts), pushed)
+	if pushed > 0 {
+		c.record(trace.KindRolloutPush, st.Name, "candidate config pushed to %d hosts", pushed)
+	}
+}
+
+// finishStage records the stage's report and advances the plan (or
+// completes the rollout at the last stage).
+func (c *Controller) finishStage(stats CohortStats) {
+	st := c.cfg.Plan[c.stageIdx]
+	last := c.stageIdx == len(c.cfg.Plan)-1
+	verdict := "advance"
+	if last {
+		verdict = "complete"
+	}
+	c.reports = append(c.reports, StageReport{
+		Stage:       st,
+		Windows:     c.acc.windows,
+		Stats:       stats,
+		SavingsFrac: c.acc.savings(),
+		Verdict:     verdict,
+	})
+	c.telAdvance.Inc()
+	c.record(trace.KindRolloutStage, st.Name,
+		"guardrails held over %d windows: psi=%.4f rps=%.3f oom=%d latched=%d savings=%.1f%%",
+		c.acc.windows, stats.MemPressure, stats.RPSRatio, stats.OOMKills, stats.SwapLatched,
+		100*c.acc.savings())
+	if last {
+		c.state = StateCompleted
+		c.settleLeft = c.cfg.SettleWindows
+		c.record(trace.KindRolloutComplete, "fleet",
+			"candidate on %d/%d hosts", c.treated, len(c.hosts))
+		return
+	}
+	c.beginStage(c.stageIdx + 1)
+}
+
+// rollback restores the baseline configuration on every treated live host
+// (crashed hosts will rejoin on baseline) and ends the rollout.
+func (c *Controller) rollback(guardrail, detail string, stats CohortStats) {
+	st := c.cfg.Plan[c.stageIdx]
+	c.reg.Counter("rollout.guardrail_trips", telemetry.Label{Key: "guardrail", Value: guardrail}).Inc()
+	c.record(trace.KindRolloutTrip, st.Name, "%s: %s", guardrail, detail)
+	c.reports = append(c.reports, StageReport{
+		Stage:       st,
+		Windows:     c.acc.windows,
+		Stats:       stats,
+		SavingsFrac: c.acc.savings(),
+		Verdict:     "rollback",
+		Tripped:     guardrail,
+		Detail:      detail,
+	})
+	restored := 0
+	for _, h := range c.hosts {
+		if !h.candidate {
+			continue
+		}
+		h.candidate = false
+		if !h.down {
+			h.sys.Senpai.SetConfig(c.cfg.Baseline)
+			c.telPush.Inc()
+			restored++
+		}
+	}
+	c.tripped = guardrail
+	c.treated = 0
+	c.state = StateRolledBack
+	c.settleLeft = c.cfg.SettleWindows
+	c.telRollback.Inc()
+	c.record(trace.KindRolloutRollback, st.Name, "baseline restored on %d hosts", restored)
+}
+
+// result assembles the scorecard.
+func (c *Controller) result() Result {
+	canary := int(math.Ceil(c.cfg.Plan[0].Frac * float64(len(c.hosts))))
+	if canary < 1 {
+		canary = 1
+	}
+	if canary > len(c.hosts) {
+		canary = len(c.hosts)
+	}
+	r := Result{
+		State:            c.state,
+		TrippedGuardrail: c.tripped,
+		Stages:           c.reports,
+		Events:           c.events,
+		CanaryHosts:      canary,
+		Window:           c.cfg.Window,
+		Duration:         vclock.Duration(c.now),
+	}
+	for _, h := range c.hosts {
+		r.Hosts = append(r.Hosts, HostReport{
+			Index:       h.index,
+			App:         h.spec.App,
+			Crashes:     h.crashes,
+			Rejoins:     h.rejoins,
+			OOMKills:    h.oomTotal,
+			SwapLatched: h.swapLatched,
+			OnCandidate: h.candidate,
+		})
+	}
+	return r
+}

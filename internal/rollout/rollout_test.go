@@ -1,0 +1,271 @@
+package rollout
+
+import (
+	"strings"
+	"testing"
+
+	"tmo/internal/chaos"
+	"tmo/internal/core"
+	"tmo/internal/fleet"
+	"tmo/internal/senpai"
+	"tmo/internal/trace"
+	"tmo/internal/vclock"
+)
+
+// testFleet is a small mixed population; host order matters (stages enroll
+// a prefix), so the canary app differs from the tail apps.
+func testFleet(n int) []fleet.Spec {
+	apps := []string{"feed", "cache-a", "ads-b", "web", "analytics", "cache-b"}
+	out := make([]fleet.Spec, n)
+	for i := range out {
+		out[i] = fleet.Spec{
+			App:  apps[i%len(apps)],
+			Mode: core.ModeZswap,
+			Seed: 1000 + uint64(i)*77,
+		}
+	}
+	return out
+}
+
+// idleBaseline is ConfigA with reclaim disabled: hosts run unoffloaded
+// until the rollout pushes a candidate, so treated-vs-control savings are
+// attributable to the candidate alone.
+func idleBaseline() senpai.Config {
+	c := senpai.ConfigA()
+	c.ReclaimRatio = 0
+	return c
+}
+
+// safeCandidate converges within test-scale windows while respecting
+// ConfigA's pressure threshold.
+func safeCandidate() senpai.Config {
+	c := senpai.ConfigA()
+	c.ReclaimRatio = 0.005
+	return c
+}
+
+// aggressiveCandidate is the ConfigB shape taken further: it tolerates far
+// more pressure and probes much harder, so the treated cohort settles well
+// above the PSI guardrail.
+func aggressiveCandidate() senpai.Config {
+	c := safeCandidate()
+	c.ReclaimRatio *= 12
+	c.MemPressureThreshold *= 50
+	c.IOPressureThreshold *= 10
+	// ConfigA's probe cap (1%/interval) bounds the pressure any ratio can
+	// induce; a genuinely dangerous config raises it too.
+	c.MaxProbeFrac *= 5
+	return c
+}
+
+func testGuardrails() Guardrails {
+	return Guardrails{
+		MaxMemPressure:       0.005,
+		MaxRPSDip:            0.25,
+		MaxOOMKills:          0,
+		SwapUtilizationLatch: 0.95,
+		MaxSwapLatched:       0,
+	}
+}
+
+func testConfig(candidate senpai.Config) Config {
+	return Config{
+		Hosts:         testFleet(4),
+		Baseline:      idleBaseline(),
+		Candidate:     candidate,
+		Plan:          []Stage{{Name: "canary", Frac: 0.25, Bake: 3}, {Name: "fleet", Frac: 1.0, Bake: 3}},
+		Guardrails:    testGuardrails(),
+		Window:        30 * vclock.Second,
+		WarmWindows:   2,
+		SettleWindows: 1,
+		Seed:          42,
+	}
+}
+
+func TestGuardrailsCheck(t *testing.T) {
+	g := testGuardrails()
+	cases := []struct {
+		name  string
+		stats CohortStats
+		want  string
+	}{
+		{"healthy", CohortStats{Hosts: 2, MemPressure: 0.001, RPSRatio: 0.99}, ""},
+		{"no evidence passes", CohortStats{Hosts: 0, MemPressure: 1, RPSRatio: 0}, ""},
+		{"psi overshoot", CohortStats{Hosts: 2, MemPressure: 0.02, RPSRatio: 1}, "psi"},
+		{"rps dip", CohortStats{Hosts: 2, MemPressure: 0.001, RPSRatio: 0.5}, "rps"},
+		{"oom outranks psi", CohortStats{Hosts: 2, MemPressure: 0.02, RPSRatio: 1, OOMKills: 1}, "oom"},
+		{"swap latch", CohortStats{Hosts: 2, MemPressure: 0.001, RPSRatio: 1, SwapLatched: 1}, "swap"},
+	}
+	for _, tc := range cases {
+		got, detail := g.Check(tc.stats)
+		if got != tc.want {
+			t.Errorf("%s: Check = %q (%s), want %q", tc.name, got, detail, tc.want)
+		}
+		if got != "" && detail == "" {
+			t.Errorf("%s: tripped without detail", tc.name)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mustPanic := func(name string, cfg Config) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: normalize did not panic", name)
+			}
+		}()
+		cfg.normalize()
+	}
+	mustPanic("no hosts", Config{})
+	mustPanic("mode off", Config{
+		Hosts:    []fleet.Spec{{App: "feed", Mode: core.ModeOff}},
+		Baseline: idleBaseline(), Candidate: safeCandidate(),
+	})
+	mustPanic("zero candidate", Config{
+		Hosts:    []fleet.Spec{{App: "feed", Mode: core.ModeZswap}},
+		Baseline: idleBaseline(),
+	})
+	mustPanic("shrinking plan", Config{
+		Hosts:    []fleet.Spec{{App: "feed", Mode: core.ModeZswap}},
+		Baseline: idleBaseline(), Candidate: safeCandidate(),
+		Plan: []Stage{{Name: "a", Frac: 0.5}, {Name: "b", Frac: 0.2}},
+	})
+	mustPanic("crash out of range", Config{
+		Hosts:    []fleet.Spec{{App: "feed", Mode: core.ModeZswap}},
+		Baseline: idleBaseline(), Candidate: safeCandidate(),
+		Crashes: []Crash{{Host: 5}},
+	})
+
+	got := Config{
+		Hosts:    []fleet.Spec{{App: "feed", Mode: core.ModeZswap}},
+		Baseline: idleBaseline(), Candidate: safeCandidate(),
+	}.normalize()
+	if len(got.Plan) != len(DefaultPlan()) || got.Guardrails != DefaultGuardrails() {
+		t.Fatalf("defaults not applied: %+v", got)
+	}
+	if got.Window != 30*vclock.Second || got.WarmWindows != 4 || got.Workers != 4 {
+		t.Fatalf("scalar defaults not applied: %+v", got)
+	}
+}
+
+func TestSafeRolloutCompletes(t *testing.T) {
+	r := New(testConfig(safeCandidate())).Run()
+	if !r.Completed() {
+		t.Fatalf("state = %s, want completed; log:\n%s", r.State, r.EventLog())
+	}
+	if r.TrippedGuardrail != "" {
+		t.Fatalf("guardrail %q tripped on the safe config", r.TrippedGuardrail)
+	}
+	if len(r.Stages) != 2 {
+		t.Fatalf("stage reports = %d, want 2", len(r.Stages))
+	}
+	if r.Stages[0].Verdict != "advance" || r.Stages[1].Verdict != "complete" {
+		t.Fatalf("verdicts = %q, %q", r.Stages[0].Verdict, r.Stages[1].Verdict)
+	}
+	for _, h := range r.Hosts {
+		if !h.OnCandidate {
+			t.Fatalf("host %d not on candidate after completion", h.Index)
+		}
+		if h.OOMKills != 0 {
+			t.Fatalf("host %d suffered %d OOM kills", h.Index, h.OOMKills)
+		}
+	}
+	// Offloading against an idle baseline must show savings at the canary
+	// stage, where the untreated control cohort factors out natural
+	// footprint drift.
+	if s := r.Stages[0].SavingsFrac; s <= 0 {
+		t.Fatalf("canary-stage savings = %.2f%%, want positive", 100*s)
+	}
+	if !strings.Contains(r.Render(), "completed") {
+		t.Fatalf("render lacks terminal state:\n%s", r.Render())
+	}
+}
+
+func TestAggressiveRolloutRollsBackAtCanary(t *testing.T) {
+	r := New(testConfig(aggressiveCandidate())).Run()
+	if !r.RolledBack() {
+		t.Fatalf("state = %s, want rolled-back; log:\n%s", r.State, r.EventLog())
+	}
+	if r.TrippedGuardrail != "psi" {
+		t.Fatalf("tripped = %q, want psi; log:\n%s", r.TrippedGuardrail, r.EventLog())
+	}
+	last := r.Stages[len(r.Stages)-1]
+	if last.Stage.Name != "canary" || last.Verdict != "rollback" {
+		t.Fatalf("rollback stage = %q/%q, want canary/rollback", last.Stage.Name, last.Verdict)
+	}
+	// The blast radius of a bad config must stay inside the canary cohort.
+	if n := r.OOMKillsOutsideCanary(); n != 0 {
+		t.Fatalf("%d OOM kills outside the canary cohort", n)
+	}
+	for _, h := range r.Hosts {
+		if h.OnCandidate {
+			t.Fatalf("host %d still on candidate after rollback", h.Index)
+		}
+	}
+	// The decision log must show the trip and the restore.
+	log := r.EventLog()
+	for _, kind := range []string{string(trace.KindRolloutTrip), string(trace.KindRolloutRollback)} {
+		if !strings.Contains(log, kind) {
+			t.Fatalf("event log lacks %s:\n%s", kind, log)
+		}
+	}
+}
+
+func TestRolloutDeterministicUnderChurn(t *testing.T) {
+	build := func() Config {
+		cfg := testConfig(safeCandidate())
+		// Knock out a non-canary host mid-rollout; it must rejoin with the
+		// cohort's current configuration without perturbing determinism.
+		cfg.Crashes = []Crash{{
+			Host:     2,
+			Schedule: chaos.Schedule{At: vclock.Time(3 * cfg.Window), Dur: 2 * cfg.Window},
+		}}
+		return cfg
+	}
+	a := New(build()).Run()
+	b := New(build()).Run()
+	if a.EventLog() != b.EventLog() {
+		t.Fatalf("event logs differ across identical runs:\n--- a ---\n%s\n--- b ---\n%s",
+			a.EventLog(), b.EventLog())
+	}
+	h := a.Hosts[2]
+	if h.Crashes != 1 || h.Rejoins != 1 {
+		t.Fatalf("host 2 lifecycle crashes=%d rejoins=%d, want 1/1; log:\n%s",
+			h.Crashes, h.Rejoins, a.EventLog())
+	}
+	log := a.EventLog()
+	if !strings.Contains(log, string(trace.KindHostCrash)) ||
+		!strings.Contains(log, string(trace.KindHostRejoin)) {
+		t.Fatalf("event log lacks lifecycle events:\n%s", log)
+	}
+	// The run completed despite the churn, and the rejoined host ended on
+	// the rolled-out candidate.
+	if !a.Completed() {
+		t.Fatalf("state = %s under churn, want completed; log:\n%s", a.State, log)
+	}
+	if !h.OnCandidate {
+		t.Fatalf("rejoined host not on candidate after completion")
+	}
+}
+
+func TestRolloutTelemetryCounters(t *testing.T) {
+	c := New(testConfig(aggressiveCandidate()))
+	c.Run()
+	snap := c.Telemetry().Snapshot()
+	want := map[string]bool{
+		"rollout.rollbacks":       false,
+		"rollout.config_pushes":   false,
+		"rollout.guardrail_trips": false,
+	}
+	for _, m := range snap.Metrics {
+		if _, ok := want[m.Name]; ok && m.Value > 0 {
+			want[m.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("counter %s not incremented; snapshot: %+v", name, snap.Metrics)
+		}
+	}
+}

@@ -194,6 +194,18 @@ func New(cfg Config, swap backend.SwapBackend) *Controller {
 // Config returns the controller's configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
+// SetConfig replaces the controller's global configuration at runtime — the
+// way the fleet control plane pushes a candidate configuration to a running
+// host (and pushes the baseline back on rollback). Per-target overrides are
+// preserved; PSI baselines carry over so the next interval differences
+// against the same totals.
+func (c *Controller) SetConfig(cfg Config) {
+	if cfg.Interval <= 0 {
+		panic("senpai: interval must be positive")
+	}
+	c.cfg = cfg
+}
+
 // SetWriteBudget changes the endurance write budget at runtime; the Fig. 14
 // experiment enables regulation mid-run this way. Zero disables regulation.
 func (c *Controller) SetWriteBudget(bytesPerSec float64) {

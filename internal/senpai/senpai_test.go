@@ -68,6 +68,35 @@ func TestConfigAMatchesPaper(t *testing.T) {
 	}
 }
 
+func TestSetConfigSwapsGlobalKeepsOverrides(t *testing.T) {
+	e := newEnv("")
+	c := New(ConfigA(), nil)
+	c.AddTarget(e.g)
+	override := ConfigB()
+	g2 := e.h.NewGroup(nil, "tax", cgroup.DatacenterTax, 0)
+	c.AddTargetWithConfig(g2, override)
+
+	next := ConfigA()
+	next.ReclaimRatio *= 3
+	c.SetConfig(next)
+	if got := c.Config().ReclaimRatio; got != next.ReclaimRatio {
+		t.Fatalf("global config not replaced: ratio = %v, want %v", got, next.ReclaimRatio)
+	}
+	if got := c.targetConfig(e.g).ReclaimRatio; got != next.ReclaimRatio {
+		t.Fatalf("plain target not on new config: ratio = %v", got)
+	}
+	if got := c.targetConfig(g2).ReclaimRatio; got != override.ReclaimRatio {
+		t.Fatalf("per-target override lost: ratio = %v, want %v", got, override.ReclaimRatio)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("SetConfig accepted a non-positive interval")
+		}
+	}()
+	c.SetConfig(Config{})
+}
+
 func TestConfigBMoreAggressive(t *testing.T) {
 	a, b := ConfigA(), ConfigB()
 	if b.MemPressureThreshold <= a.MemPressureThreshold {

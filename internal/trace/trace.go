@@ -33,6 +33,16 @@ const (
 	// nominal, logged next to the controller reactions they provoke.
 	KindChaosInject  Kind = "chaos.inject"
 	KindChaosRestore Kind = "chaos.restore"
+	// Fleet control-plane decisions: stage transitions of a staged config
+	// rollout, guardrail verdicts, automatic rollbacks, and host lifecycle
+	// (crash/rejoin) events.
+	KindRolloutStage    Kind = "rollout.stage"
+	KindRolloutTrip     Kind = "rollout.guardrail-trip"
+	KindRolloutRollback Kind = "rollout.rollback"
+	KindRolloutComplete Kind = "rollout.complete"
+	KindRolloutPush     Kind = "rollout.config-push"
+	KindHostCrash       Kind = "rollout.host-crash"
+	KindHostRejoin      Kind = "rollout.host-rejoin"
 )
 
 // Event is one recorded decision.
