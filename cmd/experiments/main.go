@@ -67,6 +67,7 @@ func main() {
 		{"fleet-het", func() experiments.Result { return experiments.FleetHeterogeneity(cfg) }},
 		{"resilience", func() experiments.Result { return experiments.Resilience(cfg) }},
 		{"rollout", func() experiments.Result { return experiments.RolloutScorecard(cfg) }},
+		{"policy", func() experiments.Result { return experiments.PolicyScorecard(cfg) }},
 	}
 
 	ran := 0

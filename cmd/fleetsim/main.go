@@ -18,7 +18,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"sort"
 
 	"tmo/cmd/internal/cliutil"
@@ -123,9 +122,7 @@ func main() {
 				MicroTaxSave: m.MicroTaxSavingsOfTotal,
 			})
 		}
-		if err := cliutil.WriteJSON(os.Stdout, report); err != nil {
-			cliutil.Fatal("fleetsim", err)
-		}
+		cliutil.EmitJSON("fleetsim", report)
 		return
 	}
 

@@ -1,6 +1,7 @@
 // Package cliutil holds the flag-parsing and output helpers shared by the
 // simulator commands (tmosim, fleetsim, rolloutsim): duration flags carrying
-// virtual time, the offload-mode vocabulary, and the JSON report encoder.
+// virtual time, the offload-mode vocabulary, rollout stage-plan and
+// guardrail flag grammars, and the JSON report encoder.
 package cliutil
 
 import (
@@ -8,9 +9,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"tmo/internal/core"
+	"tmo/internal/rollout"
 	"tmo/internal/vclock"
 )
 
@@ -37,25 +41,9 @@ func MustDuration(tool, name, value string) vclock.Duration {
 }
 
 // ParseMode resolves the offload-mode vocabulary used by every command's
-// -mode flag.
+// -mode flag (core.ParseMode owns the name table).
 func ParseMode(s string) (core.Mode, error) {
-	switch s {
-	case "off":
-		return core.ModeOff, nil
-	case "file-only":
-		return core.ModeFileOnly, nil
-	case "zswap":
-		return core.ModeZswap, nil
-	case "ssd":
-		return core.ModeSSDSwap, nil
-	case "tiered":
-		return core.ModeTiered, nil
-	case "nvm":
-		return core.ModeNVM, nil
-	case "cxl":
-		return core.ModeCXL, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q (off, file-only, zswap, ssd, tiered, nvm, cxl)", s)
+	return core.ParseMode(s)
 }
 
 // MustMode is ParseMode with command-line fatal semantics.
@@ -65,6 +53,86 @@ func MustMode(tool, s string) core.Mode {
 		Fatal(tool, err)
 	}
 	return m
+}
+
+// ParseStagePlan parses a rollout plan flag: comma-separated stages of the
+// form name=frac/bake, with /bake optional (defaulting per stage to
+// defBake). Example: "canary=0.1/4,stage-2=0.5/4,fleet=1".
+func ParseStagePlan(value string, defBake int) ([]rollout.Stage, error) {
+	var plan []rollout.Stage
+	for _, part := range strings.Split(value, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad stage %q: want name=frac[/bake]", part)
+		}
+		fracStr, bakeStr, hasBake := strings.Cut(rest, "/")
+		frac, err := strconv.ParseFloat(fracStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad stage %q: frac: %w", part, err)
+		}
+		bake := defBake
+		if hasBake {
+			bake, err = strconv.Atoi(bakeStr)
+			if err != nil {
+				return nil, fmt.Errorf("bad stage %q: bake: %w", part, err)
+			}
+		}
+		plan = append(plan, rollout.Stage{Name: name, Frac: frac, Bake: bake})
+	}
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("empty stage plan %q", value)
+	}
+	return plan, nil
+}
+
+// ParseGuardrailSpec parses one -guardrail flag value: an optional
+// "device:" prefix selecting a device-class override, then comma-separated
+// key=value pairs over the default bundle. Keys: psi (MaxMemPressure), rps
+// (MaxRPSDip), oom (MaxOOMKills; -1 = unlimited), latch
+// (SwapUtilizationLatch), latched (MaxSwapLatched; -1 = unlimited).
+// Example: "F:psi=0.0002,rps=0.25" or "oom=2,latched=1".
+func ParseGuardrailSpec(value string) (device string, g rollout.Guardrails, err error) {
+	g = rollout.DefaultGuardrails()
+	spec := value
+	if dev, rest, ok := strings.Cut(value, ":"); ok {
+		device = strings.TrimSpace(dev)
+		if device == "" {
+			return "", g, fmt.Errorf("bad guardrail %q: empty device class before ':'", value)
+		}
+		spec = rest
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return "", g, fmt.Errorf("bad guardrail %q: %q not key=value", value, part)
+		}
+		switch key {
+		case "psi":
+			g.MaxMemPressure, err = strconv.ParseFloat(val, 64)
+		case "rps":
+			g.MaxRPSDip, err = strconv.ParseFloat(val, 64)
+		case "oom":
+			g.MaxOOMKills, err = strconv.ParseInt(val, 10, 64)
+		case "latch":
+			g.SwapUtilizationLatch, err = strconv.ParseFloat(val, 64)
+		case "latched":
+			g.MaxSwapLatched, err = strconv.Atoi(val)
+		default:
+			return "", g, fmt.Errorf("bad guardrail %q: unknown key %q (psi, rps, oom, latch, latched)", value, key)
+		}
+		if err != nil {
+			return "", g, fmt.Errorf("bad guardrail %q: %s: %w", value, key, err)
+		}
+	}
+	return device, g, nil
 }
 
 // WriteJSON renders v as indented JSON with a trailing newline — the shared
@@ -77,6 +145,14 @@ func WriteJSON(w io.Writer, v any) error {
 	b = append(b, '\n')
 	_, err = w.Write(b)
 	return err
+}
+
+// EmitJSON is the -json terminal path shared by the commands: WriteJSON to
+// stdout with command-line fatal semantics.
+func EmitJSON(tool string, v any) {
+	if err := WriteJSON(os.Stdout, v); err != nil {
+		Fatal(tool, err)
+	}
 }
 
 // Fatal prints "tool: err" to stderr and exits 1.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tmo/internal/core"
+	"tmo/internal/rollout"
 	"tmo/internal/vclock"
 )
 
@@ -35,6 +36,66 @@ func TestParseMode(t *testing.T) {
 	}
 	if _, err := ParseMode("floppy"); err == nil {
 		t.Fatalf("unknown mode accepted")
+	}
+}
+
+func TestParseStagePlan(t *testing.T) {
+	plan, err := ParseStagePlan("canary=0.1/4,stage-2=0.5, fleet=1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []rollout.Stage{
+		{Name: "canary", Frac: 0.1, Bake: 4},
+		{Name: "stage-2", Frac: 0.5, Bake: 3},
+		{Name: "fleet", Frac: 1, Bake: 3},
+	}
+	if len(plan) != len(want) {
+		t.Fatalf("plan = %+v, want %+v", plan, want)
+	}
+	for i := range want {
+		if plan[i] != want[i] {
+			t.Errorf("stage %d = %+v, want %+v", i, plan[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "canary", "canary=x", "canary=0.1/x", "=0.5"} {
+		if _, err := ParseStagePlan(bad, 3); err == nil {
+			t.Errorf("ParseStagePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseGuardrailSpec(t *testing.T) {
+	dev, g, err := ParseGuardrailSpec("F:psi=0.0002,rps=0.25,oom=-1,latch=0.9,latched=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev != "F" {
+		t.Fatalf("device = %q, want F", dev)
+	}
+	want := rollout.Guardrails{
+		MaxMemPressure:       0.0002,
+		MaxRPSDip:            0.25,
+		MaxOOMKills:          rollout.Unlimited,
+		SwapUtilizationLatch: 0.9,
+		MaxSwapLatched:       2,
+	}
+	if g != want {
+		t.Fatalf("guardrails = %+v, want %+v", g, want)
+	}
+	// No device prefix: fleet-wide bundle over the defaults.
+	dev, g, err = ParseGuardrailSpec("oom=3")
+	if err != nil || dev != "" {
+		t.Fatalf("fleet-wide spec: dev=%q err=%v", dev, err)
+	}
+	def := rollout.DefaultGuardrails()
+	def.MaxOOMKills = 3
+	if g != def {
+		t.Fatalf("guardrails = %+v, want defaults with oom=3 (%+v)", g, def)
+	}
+	for _, bad := range []string{":psi=1", "psi", "psi=x", "F:banana=1", "oom=1.5"} {
+		if _, _, err := ParseGuardrailSpec(bad); err == nil {
+			t.Errorf("ParseGuardrailSpec(%q) accepted", bad)
+		}
 	}
 }
 

@@ -1,26 +1,33 @@
-// Command rolloutsim drives the fleet control plane: it stages a candidate
-// Senpai configuration across a simulated host population — canary cohort
-// first, then progressively wider stages — with guardrails on PSI overshoot,
-// throughput dips against the control cohort, OOM kills, and swap
-// exhaustion, rolling back to the baseline automatically when one trips.
+// Command rolloutsim drives the fleet control plane: it stages candidate
+// policies — a Senpai configuration plus an offload mode — across a
+// simulated host population, canary cohort first, then progressively wider
+// stages, with guardrails on PSI overshoot, throughput dips against the
+// control cohort, OOM kills, and swap exhaustion. Guardrails are judged per
+// device-class cohort (override a class with -guardrail "F:psi=0.0002"),
+// tripped cohorts revert to baseline where they must, and with -candidates
+// K > 1 the stages race K policies on disjoint cohorts and promote the best
+// survivor at the final stage. -mode-change stages a policy whose offload
+// mode differs from the fleet's: those pushes rebuild hosts at stage
+// barriers through the crash/rejoin path.
 //
 // Usage:
 //
-//	rolloutsim [-hosts 12] [-mode zswap] [-window 30s] [-warm 4] [-bake 4]
-//	           [-canary 0.1] [-stage2 0.5] [-ratio-mult 10] [-aggressive]
-//	           [-crash 3@5m+2m] [-seed 42] [-events] [-json]
+//	rolloutsim [-hosts 12] [-mode zswap] [-mode-change tiered] [-window 30s]
+//	           [-warm 4] [-bake 4] [-plan canary=0.1,stage-2=0.5,fleet=1]
+//	           [-candidates 1] [-ratio-mult 10] [-aggressive]
+//	           [-devices C,F] [-guardrail F:psi=0.0002] [-crash 3@5m+2m]
+//	           [-seed 42] [-events] [-json]
 //
-// The baseline configuration leaves offloading idle, so per-stage savings
-// measure the candidate against untouched control hosts. -aggressive swaps
-// in a deliberately unsafe candidate (the paper's Config B shape, probing
-// harder than its probe cap) to demonstrate a guardrail trip and rollback.
+// The baseline policy leaves offloading idle, so per-stage savings measure
+// each candidate against untouched control hosts. -aggressive turns the
+// last candidate deliberately unsafe (the paper's Config B shape, probing
+// harder than its probe cap) to demonstrate a guardrail trip.
 // -crash host@at+dur schedules host churn; the flag repeats.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 
 	"tmo/cmd/internal/cliutil"
@@ -64,79 +71,130 @@ func (c *crashFlags) Set(v string) error {
 	return nil
 }
 
+// guardrailFlags collects repeatable -guardrail "[device:]k=v,..." values.
+type guardrailFlags struct {
+	fleet   *rollout.Guardrails
+	devices map[string]rollout.Guardrails
+}
+
+func (g *guardrailFlags) String() string { return "" }
+
+func (g *guardrailFlags) Set(v string) error {
+	device, parsed, err := cliutil.ParseGuardrailSpec(v)
+	if err != nil {
+		return err
+	}
+	if device == "" {
+		g.fleet = &parsed
+		return nil
+	}
+	if g.devices == nil {
+		g.devices = map[string]rollout.Guardrails{}
+	}
+	g.devices[device] = parsed
+	return nil
+}
+
 func main() {
 	hosts := flag.Int("hosts", 12, "fleet population size")
-	modeStr := flag.String("mode", "zswap", "offload mode: file-only, zswap, ssd, tiered, nvm, cxl")
+	modeStr := flag.String("mode", "zswap", "baseline offload mode: file-only, zswap, ssd, tiered, nvm, cxl")
+	modeChange := flag.String("mode-change", "", "candidate offload mode (default: same as -mode); differing modes rebuild hosts at stage barriers")
 	windowStr := flag.String("window", "30s", "barrier window (virtual time)")
 	warm := flag.Int("warm", 4, "warm-up windows before the first stage")
-	bake := flag.Int("bake", 4, "windows each stage must hold its guardrails")
-	canary := flag.Float64("canary", 0.1, "canary cohort fraction")
-	stage2 := flag.Float64("stage2", 0.5, "second-stage cohort fraction")
+	bake := flag.Int("bake", 4, "default windows each stage must hold its guardrails")
+	planStr := flag.String("plan", "canary=0.1,stage-2=0.5,fleet=1", "stage plan as name=frac[/bake],...")
 	scale := flag.Float64("scale", 0.5, "workload footprint scale")
-	ratioMult := flag.Float64("ratio-mult", 10, "candidate reclaim-ratio multiplier over production Config A")
-	aggressive := flag.Bool("aggressive", false, "roll out a deliberately unsafe candidate (Config B shape)")
+	candidates := flag.Int("candidates", 1, "number of candidate policies to race")
+	ratioMult := flag.Float64("ratio-mult", 10, "first candidate's reclaim-ratio multiplier over production Config A; each further candidate steps it up")
+	aggressive := flag.Bool("aggressive", false, "make the last candidate deliberately unsafe (Config B shape)")
+	devicesStr := flag.String("devices", "", "comma-separated device classes to cycle across the fleet (default: the mix's own)")
 	seed := flag.Uint64("seed", 42, "rollout seed")
 	events := flag.Bool("events", false, "print the full rollout event log")
 	jsonOut := flag.Bool("json", false, "emit the scorecard as JSON instead of tables")
 	var crashes crashFlags
 	flag.Var(&crashes, "crash", "schedule host churn as host@at+dur (repeatable), e.g. 3@5m+2m")
+	var guardrails guardrailFlags
+	flag.Var(&guardrails, "guardrail", "guardrail bundle as [device:]k=v,... with keys psi, rps, oom, latch, latched (repeatable)")
 	flag.Parse()
 
 	mode := cliutil.MustMode("rolloutsim", *modeStr)
+	candMode := mode
+	if *modeChange != "" {
+		candMode = cliutil.MustMode("rolloutsim", *modeChange)
+	}
 	window := cliutil.MustDuration("rolloutsim", "window", *windowStr)
+	plan, err := cliutil.ParseStagePlan(*planStr, *bake)
+	if err != nil {
+		cliutil.Fatal("rolloutsim", err)
+	}
 
-	baseline := senpai.ConfigA()
-	baseline.ReclaimRatio = 0 // idle until the rollout acts
+	baseCfg := senpai.ConfigA()
+	baseCfg.ReclaimRatio = 0 // idle until the rollout acts
+	baseline := rollout.Policy{Name: "baseline", Mode: mode, Config: baseCfg}
 
-	candidate := senpai.ConfigA()
-	candidate.ReclaimRatio *= *ratioMult
-	if *aggressive {
-		candidate.ReclaimRatio *= 12
-		candidate.MemPressureThreshold *= 50
-		candidate.IOPressureThreshold *= 10
-		candidate.MaxProbeFrac *= 5
+	var cands []rollout.Policy
+	for i := 0; i < *candidates; i++ {
+		c := senpai.ConfigA()
+		c.ReclaimRatio *= *ratioMult * float64(1+i)
+		name := fmt.Sprintf("cand-%d", i+1)
+		if *aggressive && i == *candidates-1 {
+			c.ReclaimRatio *= 12
+			c.MemPressureThreshold *= 50
+			c.IOPressureThreshold *= 10
+			c.MaxProbeFrac *= 5
+			name = "cand-hot"
+		}
+		cands = append(cands, rollout.Policy{Name: name, Mode: candMode, Config: c})
 	}
 
 	mix := fleet.DefaultMix(mode, *seed)
+	var devices []string
+	if *devicesStr != "" {
+		devices = strings.Split(*devicesStr, ",")
+	}
 	specs := make([]fleet.Spec, *hosts)
 	for i := range specs {
 		s := mix[i%len(mix)]
 		s.WithTax = false
 		s.Scale = *scale
 		s.Seed = *seed + uint64(i)*7919
+		if len(devices) > 0 {
+			s.Device = strings.TrimSpace(devices[i%len(devices)])
+		}
 		specs[i] = s
 	}
 
 	cfg := rollout.Config{
-		Hosts:     specs,
-		Baseline:  baseline,
-		Candidate: candidate,
-		Plan: []rollout.Stage{
-			{Name: "canary", Frac: *canary, Bake: *bake},
-			{Name: "stage-2", Frac: *stage2, Bake: *bake},
-			{Name: "fleet", Frac: 1.0, Bake: *bake},
-		},
-		Window:      window,
-		WarmWindows: *warm,
-		Seed:        *seed,
-		Crashes:     crashes,
+		Hosts:            specs,
+		Baseline:         baseline,
+		Candidates:       cands,
+		Plan:             plan,
+		DeviceGuardrails: guardrails.devices,
+		Window:           window,
+		WarmWindows:      *warm,
+		Seed:             *seed,
+		Crashes:          crashes,
+	}
+	if guardrails.fleet != nil {
+		cfg.Guardrails = *guardrails.fleet
 	}
 
 	if !*jsonOut {
 		fmt.Printf("rolloutsim: %d hosts on %s, window %s, plan", *hosts, mode, window)
-		for _, st := range cfg.Plan {
+		for _, st := range plan {
 			fmt.Printf(" %s=%.0f%%", st.Name, 100*st.Frac)
 		}
-		fmt.Printf(", candidate ratio %.4f (threshold %.4f)\n\n",
-			candidate.ReclaimRatio, candidate.MemPressureThreshold)
+		fmt.Printf(", %d candidate(s) on %s\n", len(cands), candMode)
+		for _, c := range cands {
+			fmt.Printf("  %s: ratio %.4f (threshold %.4f)\n", c.Name, c.Config.ReclaimRatio, c.Config.MemPressureThreshold)
+		}
+		fmt.Println()
 	}
 
 	r := rollout.New(cfg).Run()
 
 	if *jsonOut {
-		if err := cliutil.WriteJSON(os.Stdout, r); err != nil {
-			cliutil.Fatal("rolloutsim", err)
-		}
+		cliutil.EmitJSON("rolloutsim", r)
 		return
 	}
 	fmt.Println(r.Render())

@@ -53,6 +53,29 @@ const (
 	ModeCXL
 )
 
+// ParseMode resolves a mode name ("zswap", "tiered", …) to its Mode — the
+// inverse of String. The vocabulary is shared by every command's -mode flag
+// and by rollout policy parsing.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off":
+		return ModeOff, nil
+	case "file-only":
+		return ModeFileOnly, nil
+	case "zswap":
+		return ModeZswap, nil
+	case "ssd", "ssd-swap":
+		return ModeSSDSwap, nil
+	case "tiered":
+		return ModeTiered, nil
+	case "nvm":
+		return ModeNVM, nil
+	case "cxl":
+		return ModeCXL, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (off, file-only, zswap, ssd, tiered, nvm, cxl)", s)
+}
+
 // String names the mode.
 func (m Mode) String() string {
 	switch m {
@@ -88,7 +111,10 @@ type Options struct {
 	// Policy is the kernel reclaim algorithm; default PolicyTMO.
 	Policy mm.ReclaimPolicy
 	// Senpai overrides the controller configuration; nil selects the
-	// production ConfigA. Ignored in ModeOff.
+	// production ConfigA. Ignored in ModeOff. This sets the config the
+	// system *boots* with; a control plane may later replace it live via
+	// Senpai.SetConfig (a rollout-pushed policy wins over this field — see
+	// rollout.Policy).
 	Senpai *senpai.Config
 	// DisableSenpai builds the offload backend without the controller, for
 	// experiments that attach a different controller (e.g. the g-swap

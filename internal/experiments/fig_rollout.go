@@ -70,7 +70,7 @@ func rolloutConfigs(c Config) (safe, aggressive rollout.Config) {
 	}
 	base := rollout.Config{
 		Hosts:    specs,
-		Baseline: baseline,
+		Baseline: rollout.Policy{Name: "baseline", Mode: core.ModeZswap, Config: baseline},
 		Plan: []rollout.Stage{
 			{Name: "canary", Frac: 0.2, Bake: bake},
 			{Name: "stage-2", Frac: 0.6, Bake: bake},
@@ -98,9 +98,9 @@ func rolloutConfigs(c Config) (safe, aggressive rollout.Config) {
 	}
 
 	safe = base
-	safe.Candidate = safeCand
+	safe.Candidates = []rollout.Policy{{Name: "candidate", Mode: core.ModeZswap, Config: safeCand}}
 	aggressive = base
-	aggressive.Candidate = aggrCand
+	aggressive.Candidates = []rollout.Policy{{Name: "candidate", Mode: core.ModeZswap, Config: aggrCand}}
 	return safe, aggressive
 }
 

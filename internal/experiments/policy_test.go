@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"tmo/internal/trace"
+)
+
+// TestPolicyRolloutRegression pins the policy-artifact control plane: the
+// mode-changing rollout rebuilds hosts at stage barriers and completes with
+// zero OOM kills; strict per-device guardrails trip the slow F/G cohorts
+// while the fast classes carry the policy to completion; and the
+// three-candidate bandit race drops the hot policy and promotes exactly the
+// best guardrail-surviving candidate — all byte-for-byte deterministic
+// under churn.
+func TestPolicyRolloutRegression(t *testing.T) {
+	r := PolicyScorecard(cfg)
+
+	// Mode change: zswap -> tiered must complete through host rebuilds.
+	if !r.ModeChange.Completed() {
+		t.Fatalf("mode-change rollout state = %s, want completed; log:\n%s",
+			r.ModeChange.State, r.ModeChange.EventLog())
+	}
+	if r.ModeChange.Promoted != "tiered" {
+		t.Fatalf("mode-change promoted %q, want tiered", r.ModeChange.Promoted)
+	}
+	if n := r.ModeChange.Rebuilds(); n < len(r.ModeChange.Hosts) {
+		t.Fatalf("mode-change rebuilds = %d, want >= one per host (%d)", n, len(r.ModeChange.Hosts))
+	}
+	if !strings.Contains(r.ModeChange.EventLog(), string(trace.KindHostRebuild)) {
+		t.Fatalf("mode-change log lacks %s:\n%s", trace.KindHostRebuild, r.ModeChange.EventLog())
+	}
+	for _, h := range r.ModeChange.Hosts {
+		if h.OOMKills != 0 {
+			t.Errorf("mode-change: host %d suffered %d OOM kills", h.Index, h.OOMKills)
+		}
+		if h.Policy != "tiered" {
+			t.Errorf("mode-change: host %d ended on %q, want tiered", h.Index, h.Policy)
+		}
+	}
+	// The churned tail host crashed, rejoined, and still converged.
+	churned := r.ModeChange.Hosts[len(r.ModeChange.Hosts)-1]
+	if churned.Crashes != 1 || churned.Rejoins != 1 {
+		t.Errorf("mode-change churned host crashes=%d rejoins=%d, want 1/1", churned.Crashes, churned.Rejoins)
+	}
+
+	// Device split: only the strict F/G cohorts revert.
+	if !r.DeviceSplit.Completed() {
+		t.Fatalf("device-split rollout state = %s, want completed; log:\n%s",
+			r.DeviceSplit.State, r.DeviceSplit.EventLog())
+	}
+	out := r.DeviceSplit.Candidates[0]
+	if out.Dropped {
+		t.Fatalf("device-split candidate fully dropped; want only F/G excluded; log:\n%s",
+			r.DeviceSplit.EventLog())
+	}
+	if len(out.ExcludedDevices) != 2 || out.ExcludedDevices[0] != "F" || out.ExcludedDevices[1] != "G" {
+		t.Fatalf("device-split excluded %v, want [F G]; log:\n%s",
+			out.ExcludedDevices, r.DeviceSplit.EventLog())
+	}
+	for _, h := range r.DeviceSplit.Hosts {
+		want := "candidate"
+		if h.Device == "F" || h.Device == "G" {
+			want = "baseline"
+		}
+		if h.Policy != want {
+			t.Errorf("device-split: host %d (device %s) on %q, want %q", h.Index, h.Device, h.Policy, want)
+		}
+	}
+
+	// Bandit: the hot policy drops, the best survivor is promoted.
+	if !r.Bandit.Completed() {
+		t.Fatalf("bandit rollout state = %s, want completed; log:\n%s",
+			r.Bandit.State, r.Bandit.EventLog())
+	}
+	byName := map[string]bool{}
+	for _, c := range r.Bandit.Candidates {
+		byName[c.Policy] = c.Dropped
+		if c.Policy == "cand-hot" && c.Tripped != "psi" {
+			t.Errorf("bandit: cand-hot tripped %q, want psi", c.Tripped)
+		}
+	}
+	if !byName["cand-hot"] || byName["cand-mild"] || byName["cand-strong"] {
+		t.Fatalf("bandit drop pattern wrong: %+v; log:\n%s", r.Bandit.Candidates, r.Bandit.EventLog())
+	}
+	if r.Bandit.Promoted != "cand-strong" {
+		t.Fatalf("bandit promoted %q, want cand-strong; outcomes %+v; log:\n%s",
+			r.Bandit.Promoted, r.Bandit.Candidates, r.Bandit.EventLog())
+	}
+	for _, h := range r.Bandit.Hosts {
+		if h.Policy != "cand-strong" {
+			t.Errorf("bandit: host %d ended on %q, want cand-strong", h.Index, h.Policy)
+		}
+	}
+
+	if !strings.Contains(r.Render(), "promoted") {
+		t.Fatalf("render lacks promotion verdict:\n%s", r.Render())
+	}
+
+	// Same seed, same fleet, same churn — byte-identical event logs, with
+	// rebuilds, drops, and promotion all in play.
+	again := PolicyScorecard(cfg)
+	for name, pair := range map[string][2]string{
+		"mode-change":  {r.ModeChange.EventLog(), again.ModeChange.EventLog()},
+		"device-split": {r.DeviceSplit.EventLog(), again.DeviceSplit.EventLog()},
+		"bandit":       {r.Bandit.EventLog(), again.Bandit.EventLog()},
+	} {
+		if pair[0] != pair[1] {
+			t.Fatalf("%s rollout log not reproducible:\n--- a ---\n%s\n--- b ---\n%s",
+				name, pair[0], pair[1])
+		}
+	}
+}

@@ -49,9 +49,11 @@ func TestRolloutRegression(t *testing.T) {
 	}
 	// Its savings before the trip must exceed the safe canary's — the §4.4
 	// trade the guardrail exists to refuse.
-	if last.SavingsFrac <= r.Safe.Stages[0].SavingsFrac {
+	aggrSavings := last.Candidates[0].SavingsFrac
+	safeSavings := r.Safe.Stages[0].Candidates[0].SavingsFrac
+	if aggrSavings <= safeSavings {
 		t.Errorf("aggressive canary savings %.2f%% not above safe %.2f%%",
-			100*last.SavingsFrac, 100*r.Safe.Stages[0].SavingsFrac)
+			100*aggrSavings, 100*safeSavings)
 	}
 
 	// Both runs churned a non-canary host and carried on.

@@ -8,6 +8,7 @@ package fleet
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"tmo/internal/cgroup"
@@ -23,17 +24,33 @@ import (
 type Spec struct {
 	// App is the primary workload's catalog name.
 	App string
-	// Mode is the offload configuration under test.
+	// Mode is the offload configuration under test. Under the rollout
+	// control plane this is the host's *initial* state only: a pushed
+	// rollout.Policy carries its own mode and wins (precedence is
+	// documented on rollout.Policy).
 	Mode core.Mode
-	// Device is the host SSD model letter (default "C").
+	// Device is the host SSD model letter (default "C"); it also keys the
+	// host's device-class cohort for per-device rollout guardrails.
 	Device string
 	// Scale multiplies all workload footprints (app and tax); default 1.
 	// Experiments use reduced scales to keep page-level simulation fast.
 	Scale float64
 	// CapacityBytes is host DRAM; defaults to twice the app footprint.
 	CapacityBytes int64
-	// Senpai optionally overrides the controller configuration.
+	// Senpai optionally overrides the controller configuration the host
+	// boots with. Under the rollout control plane this override is
+	// ignored: the policy in force (baseline or candidate) supplies the
+	// Senpai config on every build and push, so a spec-level override
+	// cannot fight a staged rollout (pushed policy wins).
 	Senpai *senpai.Config
+	// ZswapPoolFrac optionally caps the zswap pool at this fraction of
+	// DRAM; zero keeps the core default. Rollout policies may carry this
+	// knob with a mode change.
+	ZswapPoolFrac float64
+	// SwapBytes optionally sizes the SSD swap partition; zero keeps the
+	// core default. Rollout policies may carry this knob with a mode
+	// change.
+	SwapBytes int64
 	// WithTax co-schedules the datacenter- and microservice-tax sidecars.
 	WithTax bool
 	// Seed makes the server deterministic; A/B pairs share it.
@@ -58,6 +75,31 @@ func (s Spec) normalize() Spec {
 		s.Weight = 1
 	}
 	return s
+}
+
+// DeviceClass returns the spec's device-cohort key: the SSD model letter
+// with the default model applied. Rollout guardrail maps are keyed by it.
+func (s Spec) DeviceClass() string {
+	if s.Device == "" {
+		return "C"
+	}
+	return s.Device
+}
+
+// DeviceCohorts slices a population by device class: it returns the spec
+// indices of each class plus the class keys in sorted order. The rollout
+// control plane aggregates and judges each cohort separately.
+func DeviceCohorts(specs []Spec) (byClass map[string][]int, classes []string) {
+	byClass = make(map[string][]int)
+	for i, s := range specs {
+		d := s.DeviceClass()
+		if _, ok := byClass[d]; !ok {
+			classes = append(classes, d)
+		}
+		byClass[d] = append(byClass[d], i)
+	}
+	sort.Strings(classes)
+	return byClass, classes
 }
 
 // appProfile loads the spec's primary workload at the spec scale.
@@ -107,6 +149,8 @@ func buildSystem(s Spec, mode core.Mode) (*core.System, *workload.App, *workload
 		CapacityBytes: s.CapacityBytes,
 		DeviceModel:   s.Device,
 		Senpai:        s.Senpai,
+		ZswapPoolFrac: s.ZswapPoolFrac,
+		SwapBytes:     s.SwapBytes,
 		Seed:          s.Seed,
 	})
 	app := sys.AddProfile(s.appProfile(), cgroup.Workload)

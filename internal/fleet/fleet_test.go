@@ -41,6 +41,54 @@ func TestSpecNormalize(t *testing.T) {
 	}
 }
 
+func TestDeviceCohorts(t *testing.T) {
+	if got := (Spec{}).DeviceClass(); got != "C" {
+		t.Fatalf("zero-spec device class = %q, want C", got)
+	}
+	if got := (Spec{Device: "F"}).DeviceClass(); got != "F" {
+		t.Fatalf("device class = %q, want F", got)
+	}
+	specs := []Spec{{Device: "F"}, {}, {Device: "A"}, {Device: "F"}, {Device: "C"}}
+	byClass, classes := DeviceCohorts(specs)
+	if len(classes) != 3 || classes[0] != "A" || classes[1] != "C" || classes[2] != "F" {
+		t.Fatalf("classes = %v, want sorted [A C F]", classes)
+	}
+	wantBy := map[string][]int{"A": {2}, "C": {1, 4}, "F": {0, 3}}
+	for d, want := range wantBy {
+		got := byClass[d]
+		if len(got) != len(want) {
+			t.Fatalf("cohort %s = %v, want %v", d, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cohort %s = %v, want %v", d, got, want)
+			}
+		}
+	}
+}
+
+func TestSpecBackendKnobs(t *testing.T) {
+	// ZswapPoolFrac caps the compressed pool on a zswap host.
+	base := Spec{App: "feed", Mode: core.ModeZswap, Seed: 7}
+	capped := base
+	capped.ZswapPoolFrac = 0.05
+	sysBase, _ := BuildHost(base)
+	sysCapped, _ := BuildHost(capped)
+	if sysBase.Zswap == nil || sysCapped.Zswap == nil {
+		t.Fatalf("zswap backend missing")
+	}
+	if got, def := sysCapped.Zswap.MaxPoolBytes(), sysBase.Zswap.MaxPoolBytes(); got >= def {
+		t.Fatalf("capped pool %d not below default %d", got, def)
+	}
+
+	// SwapBytes sizes the SSD swap partition.
+	ssd := Spec{App: "feed", Mode: core.ModeSSDSwap, SwapBytes: 64 << 20, Seed: 7}
+	sysSSD, _ := BuildHost(ssd)
+	if sysSSD.SSDSwap == nil || sysSSD.SSDSwap.Capacity() != 64<<20 {
+		t.Fatalf("swap capacity not plumbed: %+v", sysSSD.SSDSwap)
+	}
+}
+
 func TestWeightedAppSavings(t *testing.T) {
 	ms := []Measurement{
 		{Spec: Spec{Weight: 1}, SavingsFrac: 0.20},

@@ -9,35 +9,83 @@ import (
 	"tmo/internal/vclock"
 )
 
+// CandidateStageReport is one candidate's telemetry and verdict for one
+// stage of the race.
+type CandidateStageReport struct {
+	// Policy names the candidate.
+	Policy string
+	// Windows is how many barrier windows the candidate's cohort
+	// contributed samples.
+	Windows int
+	// Stats is the candidate-wide cumulative cohort telemetry at the
+	// verdict.
+	Stats CohortStats
+	// Cohorts breaks Stats down per device class, sorted by class.
+	Cohorts []CohortStats
+	// SavingsFrac is the cohort's mean weighted resident-memory savings
+	// relative to the control cohort over the stage.
+	SavingsFrac float64
+	// Verdict is "advance", "complete", "dropped", or "idle" (no hosts
+	// raced this stage).
+	Verdict string
+	// Tripped names the (last) guardrail that dropped a cohort, if any.
+	Tripped string
+	// Detail is the tripped guardrail's human-readable evidence.
+	Detail string
+	// DroppedDevices lists device classes the candidate was excluded from,
+	// sorted.
+	DroppedDevices []string
+}
+
 // StageReport is one stage's verdict and the telemetry it was judged on.
 type StageReport struct {
 	// Stage is the plan entry the report covers.
 	Stage Stage
-	// Windows is how many barrier windows contributed samples.
-	Windows int
-	// Stats is the cumulative cohort telemetry at the verdict.
-	Stats CohortStats
-	// SavingsFrac is the treated cohort's mean resident-memory savings
-	// relative to the control cohort over the stage.
-	SavingsFrac float64
 	// Verdict is "advance", "complete", or "rollback".
 	Verdict string
-	// Tripped names the guardrail that forced a rollback verdict.
+	// Candidates holds one report per candidate, in Config.Candidates
+	// order.
+	Candidates []CandidateStageReport
+}
+
+// CandidateOutcome is one candidate policy's fate over the whole rollout.
+type CandidateOutcome struct {
+	// Policy names the candidate; Mode is its offload mode.
+	Policy string
+	Mode   string
+	// Dropped means the candidate tripped out of the race everywhere.
+	Dropped bool
+	// Tripped/Detail record the (last) guardrail that dropped a cohort.
 	Tripped string
-	// Detail is the tripped guardrail's human-readable evidence.
-	Detail string
+	Detail  string
+	// ExcludedDevices lists device classes the candidate was dropped from.
+	ExcludedDevices []string
+	// MeanSavingsFrac is the lifetime mean weighted savings — the promotion
+	// score.
+	MeanSavingsFrac float64
+	// Windows is how many barrier windows contributed to the score.
+	Windows int
+	// Promoted marks the winner of a completed rollout.
+	Promoted bool
 }
 
 // HostReport is one host's lifecycle summary.
 type HostReport struct {
-	Index       int
-	App         string
-	Crashes     int
-	Rejoins     int
-	OOMKills    int64
+	Index  int
+	App    string
+	Device string
+	// Crashes/Rejoins count chaos-driven churn; Rebuilds counts
+	// mode-changing policy pushes (each also bumps the incarnation).
+	Crashes  int
+	Rejoins  int
+	Rebuilds int
+	OOMKills int64
+	// SwapLatched reports whether the host latched swap exhaustion.
 	SwapLatched bool
-	// OnCandidate reports whether the host ended the run on the candidate
-	// configuration.
+	// Policy names the policy the host ended the run on.
+	Policy string
+	// OnCandidate reports whether the host ended the run on a candidate
+	// policy (false: baseline/control).
 	OnCandidate bool
 }
 
@@ -47,8 +95,13 @@ type Result struct {
 	State State
 	// TrippedGuardrail names the guardrail that forced rollback, if any.
 	TrippedGuardrail string
+	// Promoted names the winning policy of a completed rollout.
+	Promoted string
 	// Stages holds one report per stage verdict, in plan order.
 	Stages []StageReport
+	// Candidates summarizes every candidate's fate, in Config.Candidates
+	// order.
+	Candidates []CandidateOutcome
 	// Hosts summarizes every fleet member in population order.
 	Hosts []HostReport
 	// Events is the deterministic rollout decision log.
@@ -61,10 +114,10 @@ type Result struct {
 	Duration vclock.Duration
 }
 
-// Completed reports whether the candidate reached the full fleet.
+// Completed reports whether a candidate policy reached the full fleet.
 func (r Result) Completed() bool { return r.State == StateCompleted }
 
-// RolledBack reports whether a guardrail forced the baseline back.
+// RolledBack reports whether guardrails forced the baseline back.
 func (r Result) RolledBack() bool { return r.State == StateRolledBack }
 
 // OOMKillsOutsideCanary counts OOM kills on hosts beyond the canary cohort —
@@ -75,6 +128,15 @@ func (r Result) OOMKillsOutsideCanary() int64 {
 		if h.Index >= r.CanaryHosts {
 			n += h.OOMKills
 		}
+	}
+	return n
+}
+
+// Rebuilds counts mode-changing policy rebuilds across the fleet.
+func (r Result) Rebuilds() int {
+	n := 0
+	for _, h := range r.Hosts {
+		n += h.Rebuilds
 	}
 	return n
 }
@@ -98,44 +160,51 @@ func (r Result) Render() string {
 	if r.TrippedGuardrail != "" {
 		fmt.Fprintf(&b, "guardrail tripped: %s\n", r.TrippedGuardrail)
 	}
+	if r.Promoted != "" {
+		fmt.Fprintf(&b, "promoted: %s\n", r.Promoted)
+	}
 	b.WriteString("\n")
 
-	rows := [][]string{{"stage", "frac", "hosts", "windows", "psi-avg", "rps-ratio", "oom", "latched", "savings", "verdict"}}
+	rows := [][]string{{"stage", "frac", "policy", "hosts", "windows", "psi-avg", "rps-ratio", "oom", "latched", "savings", "verdict"}}
 	for _, s := range r.Stages {
-		verdict := s.Verdict
-		if s.Tripped != "" {
-			verdict += " (" + s.Tripped + ")"
+		for _, cr := range s.Candidates {
+			verdict := cr.Verdict
+			if cr.Tripped != "" {
+				verdict += " (" + cr.Tripped + ")"
+			}
+			if len(cr.DroppedDevices) > 0 && cr.Verdict != "dropped" {
+				verdict += " -" + strings.Join(cr.DroppedDevices, ",-")
+			}
+			rows = append(rows, []string{
+				s.Stage.Name,
+				fmt.Sprintf("%.0f%%", 100*s.Stage.Frac),
+				cr.Policy,
+				fmt.Sprintf("%d", cr.Stats.Hosts),
+				fmt.Sprintf("%d", cr.Windows),
+				fmt.Sprintf("%.4f", cr.Stats.MemPressure),
+				fmt.Sprintf("%.3f", cr.Stats.RPSRatio),
+				fmt.Sprintf("%d", cr.Stats.OOMKills),
+				fmt.Sprintf("%d", cr.Stats.SwapLatched),
+				fmt.Sprintf("%.1f%%", 100*cr.SavingsFrac),
+				verdict,
+			})
 		}
-		rows = append(rows, []string{
-			s.Stage.Name,
-			fmt.Sprintf("%.0f%%", 100*s.Stage.Frac),
-			fmt.Sprintf("%d", s.Stats.Hosts),
-			fmt.Sprintf("%d", s.Windows),
-			fmt.Sprintf("%.4f", s.Stats.MemPressure),
-			fmt.Sprintf("%.3f", s.Stats.RPSRatio),
-			fmt.Sprintf("%d", s.Stats.OOMKills),
-			fmt.Sprintf("%d", s.Stats.SwapLatched),
-			fmt.Sprintf("%.1f%%", 100*s.SavingsFrac),
-			verdict,
-		})
 	}
 	b.WriteString(textplot.Table(rows))
 	b.WriteString("\n")
 
-	rows = [][]string{{"host", "app", "crashes", "rejoins", "oom", "latched", "config"}}
+	rows = [][]string{{"host", "app", "dev", "crashes", "rejoins", "rebuilds", "oom", "latched", "policy"}}
 	for _, h := range r.Hosts {
-		cfg := "baseline"
-		if h.OnCandidate {
-			cfg = "candidate"
-		}
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", h.Index),
 			h.App,
+			h.Device,
 			fmt.Sprintf("%d", h.Crashes),
 			fmt.Sprintf("%d", h.Rejoins),
+			fmt.Sprintf("%d", h.Rebuilds),
 			fmt.Sprintf("%d", h.OOMKills),
 			fmt.Sprintf("%v", h.SwapLatched),
-			cfg,
+			h.Policy,
 		})
 	}
 	b.WriteString(textplot.Table(rows))

@@ -1,31 +1,44 @@
-// Package rollout is the fleet control plane: it deploys a candidate Senpai
-// configuration across a population of simulated hosts the way TMO itself
-// reached Meta's fleet — in stages (canary → wider cohorts → fleet-wide),
-// watched through aggregated PSI and throughput telemetry, and automatically
-// rolled back to the baseline configuration when a guardrail trips.
+// Package rollout is the fleet control plane: it deploys candidate policies
+// across a population of simulated hosts the way TMO itself reached Meta's
+// fleet — in stages (canary → wider cohorts → fleet-wide), watched through
+// aggregated PSI and throughput telemetry, and automatically rolled back to
+// the baseline when guardrails trip.
+//
+// The pushed artifact is a Policy — an offload mode plus a Senpai
+// configuration — so a rollout can change *what* a host runs, not just how
+// aggressively it trims: mode-changing pushes rebuild the host at a stage
+// barrier through the same fleet.BuildHost path a crash/rejoin uses. The
+// controller races K candidate policies at once across disjoint cohorts of
+// the treated prefix, judges every (candidate, device-class) cohort against
+// that class's guardrails, drops cohorts and candidates that trip (hosts
+// revert to baseline where — and only where — they must), and promotes the
+// best surviving candidate by weighted savings when the final stage begins.
+// The classic one-candidate-vs-baseline rollout is the K=1 special case.
 //
 // The controller owns the hosts (built from fleet.Spec) and advances them in
 // fixed virtual-time windows. Hosts within a window run concurrently on a
 // bounded worker pool — each host is a self-contained seeded simulation, so
 // scheduling order cannot affect results — but every control decision (stage
-// advancement, guardrail verdicts, rollback, host lifecycle) is taken
-// single-threaded at the window barrier. The same configuration and seed
-// therefore produce a byte-identical rollout event log, even under host
+// advancement, guardrail verdicts, drops, promotion, rollback, host
+// lifecycle) is taken single-threaded at the window barrier, with device
+// classes and candidates visited in fixed order. The same configuration and
+// seed therefore produce a byte-identical rollout event log, even under host
 // churn: crash schedules are evaluated deterministically on the rollout
 // clock via the chaos engine, and a crashed host rejoins with whatever
-// configuration its cohort is entitled to at rejoin time.
+// policy its cohort is entitled to at rejoin time.
 package rollout
 
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 	"sync"
 
 	"tmo/internal/chaos"
 	"tmo/internal/core"
 	"tmo/internal/fleet"
 	"tmo/internal/psi"
-	"tmo/internal/senpai"
 	"tmo/internal/telemetry"
 	"tmo/internal/trace"
 	"tmo/internal/vclock"
@@ -54,79 +67,6 @@ func DefaultPlan() []Stage {
 	}
 }
 
-// Guardrails are the per-stage safety thresholds evaluated from aggregated
-// host telemetry. A zero threshold disables its check except for the OOM and
-// swap-latch counts, whose zero values mean "none tolerated".
-type Guardrails struct {
-	// MaxMemPressure bounds the treated cohort's mean windowed memory
-	// some-pressure (the PSI overshoot guardrail).
-	MaxMemPressure float64
-	// MaxRPSDip bounds the treated cohort's throughput dip relative to the
-	// control cohort: the rollout trips when treated RPS falls below
-	// (1 − MaxRPSDip) × control RPS (both baseline-normalized per host).
-	MaxRPSDip float64
-	// MaxOOMKills bounds OOM kills within the treated cohort per stage.
-	MaxOOMKills int64
-	// SwapUtilizationLatch is the swap-backend utilization at which a host
-	// latches swap exhaustion; the latch is sticky for the host's life.
-	SwapUtilizationLatch float64
-	// MaxSwapLatched bounds how many latched treated hosts a stage tolerates.
-	MaxSwapLatched int
-}
-
-// DefaultGuardrails returns production-shaped thresholds: pressure well
-// above Senpai's ConfigA operating point (~0.1% memory-some) but far below a
-// regressing host, a 10% throughput budget, and zero tolerance for OOM kills
-// or swap exhaustion.
-func DefaultGuardrails() Guardrails {
-	return Guardrails{
-		MaxMemPressure:       0.005,
-		MaxRPSDip:            0.10,
-		MaxOOMKills:          0,
-		SwapUtilizationLatch: 0.95,
-		MaxSwapLatched:       0,
-	}
-}
-
-// CohortStats is one stage's aggregated treated-cohort telemetry — the
-// inputs the guardrails judge.
-type CohortStats struct {
-	// Hosts is how many treated hosts contributed samples.
-	Hosts int
-	// MemPressure is the mean windowed memory some-pressure.
-	MemPressure float64
-	// RPSRatio is treated throughput over control-cohort throughput, each
-	// host normalized by its own pre-rollout baseline first.
-	RPSRatio float64
-	// OOMKills counts treated-cohort OOM kills during the stage.
-	OOMKills int64
-	// SwapLatched counts treated hosts whose swap-exhaustion latch is set.
-	SwapLatched int
-}
-
-// Check evaluates the guardrails over s. It returns the name of the first
-// violated guardrail ("oom", "psi", "rps", "swap") with a human-readable
-// detail, or "" when every guardrail holds. With no contributing hosts there
-// is no evidence either way and the check passes.
-func (g Guardrails) Check(s CohortStats) (guardrail, detail string) {
-	if s.Hosts == 0 {
-		return "", ""
-	}
-	if s.OOMKills > g.MaxOOMKills {
-		return "oom", fmt.Sprintf("%d OOM kills in treated cohort (max %d)", s.OOMKills, g.MaxOOMKills)
-	}
-	if g.MaxMemPressure > 0 && s.MemPressure > g.MaxMemPressure {
-		return "psi", fmt.Sprintf("mean mem-some pressure %.4f over %.4f", s.MemPressure, g.MaxMemPressure)
-	}
-	if g.MaxRPSDip > 0 && s.RPSRatio < 1-g.MaxRPSDip {
-		return "rps", fmt.Sprintf("throughput ratio %.3f below %.3f", s.RPSRatio, 1-g.MaxRPSDip)
-	}
-	if s.SwapLatched > g.MaxSwapLatched {
-		return "swap", fmt.Sprintf("%d hosts latched swap exhaustion (max %d)", s.SwapLatched, g.MaxSwapLatched)
-	}
-	return "", ""
-}
-
 // Crash schedules host churn: the host is down while the chaos schedule is
 // active (evaluated on the rollout clock at window granularity) and rejoins
 // at the first barrier after it clears.
@@ -139,17 +79,26 @@ type Crash struct {
 
 // Config describes one staged rollout.
 type Config struct {
-	// Hosts is the fleet population. Specs must use an offloading mode
-	// (Senpai must exist for configurations to be pushed to).
+	// Hosts is the fleet population. Spec.Mode and Spec.Senpai describe
+	// each host's standalone state only — while owned by the controller,
+	// the policy in force supplies both (pushed policy wins).
 	Hosts []fleet.Spec
-	// Baseline is the configuration the fleet starts on and rolls back to.
-	Baseline senpai.Config
-	// Candidate is the configuration under rollout.
-	Candidate senpai.Config
+	// Baseline is the policy the fleet starts on and rolls back to.
+	Baseline Policy
+	// Candidates are the policies under rollout. One candidate is the
+	// classic staged rollout; K > 1 races the candidates on disjoint
+	// cohorts of each stage's treated prefix, drops those that trip their
+	// guardrails, and promotes the best survivor at the final stage.
+	Candidates []Policy
 	// Plan is the stage sequence; default DefaultPlan.
 	Plan []Stage
-	// Guardrails are the stage safety thresholds; default DefaultGuardrails.
+	// Guardrails is the fleet-wide default safety bundle; default
+	// DefaultGuardrails.
 	Guardrails Guardrails
+	// DeviceGuardrails overrides the default bundle per fleet.Spec device
+	// class (e.g. stricter IO/PSI limits for slow SSD models). An entry
+	// replaces the default wholesale for hosts of its class.
+	DeviceGuardrails map[string]Guardrails
 	// Window is the barrier window length; default 30s of virtual time.
 	Window vclock.Duration
 	// WarmWindows is how many windows a host runs before it contributes to
@@ -173,13 +122,30 @@ func (cfg Config) normalize() Config {
 	if len(cfg.Hosts) == 0 {
 		panic("rollout: Hosts required")
 	}
-	for _, s := range cfg.Hosts {
-		if s.Mode == core.ModeOff {
-			panic("rollout: host specs need an offloading mode (got off for " + s.App + ")")
-		}
+	if cfg.Baseline.Name == "" {
+		cfg.Baseline.Name = "baseline"
 	}
-	if cfg.Baseline.Interval <= 0 || cfg.Candidate.Interval <= 0 {
-		panic("rollout: Baseline and Candidate configs required")
+	cfg.Baseline.validate("baseline")
+	if len(cfg.Candidates) == 0 {
+		panic("rollout: at least one Candidate policy required")
+	}
+	if len(cfg.Candidates) > len(cfg.Hosts) {
+		panic(fmt.Sprintf("rollout: %d candidates cannot race across %d hosts",
+			len(cfg.Candidates), len(cfg.Hosts)))
+	}
+	cands := make([]Policy, len(cfg.Candidates))
+	copy(cands, cfg.Candidates)
+	cfg.Candidates = cands
+	names := map[string]bool{cfg.Baseline.Name: true}
+	for i := range cfg.Candidates {
+		if cfg.Candidates[i].Name == "" {
+			cfg.Candidates[i].Name = fmt.Sprintf("cand-%d", i+1)
+		}
+		cfg.Candidates[i].validate("candidate")
+		if names[cfg.Candidates[i].Name] {
+			panic(fmt.Sprintf("rollout: duplicate policy name %q", cfg.Candidates[i].Name))
+		}
+		names[cfg.Candidates[i].Name] = true
 	}
 	if len(cfg.Plan) == 0 {
 		cfg.Plan = DefaultPlan()
@@ -199,6 +165,16 @@ func (cfg Config) normalize() Config {
 	}
 	if (cfg.Guardrails == Guardrails{}) {
 		cfg.Guardrails = DefaultGuardrails()
+	}
+	if len(cfg.DeviceGuardrails) > 0 {
+		dg := make(map[string]Guardrails, len(cfg.DeviceGuardrails))
+		for d, g := range cfg.DeviceGuardrails {
+			if d == "" {
+				panic("rollout: DeviceGuardrails key must be a device class (empty key)")
+			}
+			dg[d] = g
+		}
+		cfg.DeviceGuardrails = dg
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 30 * vclock.Second
@@ -223,6 +199,14 @@ func (cfg Config) normalize() Config {
 	return cfg
 }
 
+// guardrailsFor resolves the bundle judging a device class's cohorts.
+func (cfg Config) guardrailsFor(device string) Guardrails {
+	if g, ok := cfg.DeviceGuardrails[device]; ok {
+		return g
+	}
+	return cfg.Guardrails
+}
+
 // State is where the rollout stands.
 type State int
 
@@ -232,10 +216,11 @@ const (
 	StateWarming State = iota
 	// StateStaging bakes the current stage under guardrail watch.
 	StateStaging
-	// StateCompleted means the candidate reached the full fleet.
+	// StateCompleted means a surviving candidate reached the full fleet
+	// (minus any device cohorts it was dropped from).
 	StateCompleted
-	// StateRolledBack means a guardrail tripped and the baseline was
-	// restored everywhere.
+	// StateRolledBack means every candidate tripped its guardrails and the
+	// baseline was restored everywhere.
 	StateRolledBack
 )
 
@@ -256,12 +241,18 @@ func (s State) String() string {
 
 // host is one fleet member and its control-plane bookkeeping.
 type host struct {
-	index int
-	spec  fleet.Spec
+	index  int
+	spec   fleet.Spec
+	device string
+	weight float64
 
 	sys     *core.System
 	app     *workload.App
 	swapCap int64
+	// latchFrac is the device class's swap-exhaustion latch threshold.
+	latchFrac float64
+	// runMode is the offload mode of the currently built simulation.
+	runMode core.Mode
 
 	// Lifecycle: wantDown is written by the chaos crash fault (evaluated
 	// single-threaded at the barrier); down/incarnation track the applied
@@ -271,10 +262,12 @@ type host struct {
 	incarnation int
 	crashes     int
 	rejoins     int
+	rebuilds    int
 	upWindows   int
 
-	// candidate reports which configuration cohort the host is in.
-	candidate bool
+	// assigned is the candidate index whose policy the host is entitled
+	// to; -1 means baseline (control cohort).
+	assigned int
 
 	// Window sampling state.
 	lastMem       vclock.Duration
@@ -292,7 +285,8 @@ type host struct {
 	swapLatched bool
 
 	// Pre-rollout reference recorded at the end of the first warm-up; kept
-	// across crashes so a rejoined host is judged against its class norm.
+	// across crashes and rebuilds so a rejoined host is judged against its
+	// class norm.
 	baselineSet      bool
 	warmRPSSum       float64
 	baselineRPS      float64
@@ -300,17 +294,109 @@ type host struct {
 }
 
 // eligible reports whether the host's telemetry belongs in cohort
-// aggregates: up, past warm-up since its last (re)join, with a recorded
+// aggregates: up, past warm-up since its last (re)build, with a recorded
 // baseline.
 func (h *host) eligible(warm int) bool {
 	return !h.down && h.baselineSet && h.upWindows >= warm
 }
 
+// candState is one candidate policy's racing state.
+type candState struct {
+	idx int
+	pol Policy
+	// dropped means the candidate is out of the race everywhere.
+	dropped bool
+	// tripped/detail record the (last) guardrail that dropped a cohort.
+	tripped string
+	detail  string
+	// excluded device classes: cohorts this candidate was dropped from.
+	excluded map[string]bool
+	// acc accumulates the current stage.
+	acc candAccum
+	// Lifetime savings accumulation, for promotion scoring.
+	lifeSavingsSum float64
+	lifeWindows    int
+}
+
+// excludedList returns the dropped device classes in sorted order.
+func (cs *candState) excludedList() []string {
+	out := make([]string, 0, len(cs.excluded))
+	for d := range cs.excluded {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// meanSavings is the candidate's lifetime mean weighted savings — the
+// promotion score.
+func (cs *candState) meanSavings() float64 {
+	if cs.lifeWindows == 0 {
+		return 0
+	}
+	return cs.lifeSavingsSum / float64(cs.lifeWindows)
+}
+
+// devAccum accumulates one (candidate, device-class) cohort over a stage.
+// Only windows with at least one contributing host count toward means.
+type devAccum struct {
+	windows     int
+	pressureSum float64
+	rpsRatioSum float64
+	ooms        int64
+	latched     int
+	hosts       int
+}
+
+// cohort folds the accumulator into the stats the guardrails judge.
+func (a *devAccum) cohort(device string) CohortStats {
+	s := CohortStats{Device: device, Hosts: a.hosts, OOMKills: a.ooms, SwapLatched: a.latched, RPSRatio: 1}
+	if a.windows > 0 {
+		s.MemPressure = a.pressureSum / float64(a.windows)
+		s.RPSRatio = a.rpsRatioSum / float64(a.windows)
+	}
+	return s
+}
+
+// candAccum accumulates one candidate's stage aggregates: the candidate-wide
+// cohort plus one devAccum per device class.
+type candAccum struct {
+	windows     int
+	pressureSum float64
+	rpsRatioSum float64
+	savingsSum  float64
+	ooms        int64
+	latched     int
+	hosts       int
+	dev         map[string]*devAccum
+}
+
+// cohort folds the candidate-wide accumulator.
+func (a *candAccum) cohort() CohortStats {
+	s := CohortStats{Hosts: a.hosts, OOMKills: a.ooms, SwapLatched: a.latched, RPSRatio: 1}
+	if a.windows > 0 {
+		s.MemPressure = a.pressureSum / float64(a.windows)
+		s.RPSRatio = a.rpsRatioSum / float64(a.windows)
+	}
+	return s
+}
+
+// savings is the accumulated stage-mean weighted resident savings of the
+// candidate's cohort relative to control.
+func (a *candAccum) savings() float64 {
+	if a.windows == 0 {
+		return 0
+	}
+	return a.savingsSum / float64(a.windows)
+}
+
 // Controller drives one staged rollout.
 type Controller struct {
-	cfg   Config
-	hosts []*host
-	eng   *chaos.Engine
+	cfg          Config
+	hosts        []*host
+	cands        []*candState
+	fleetDevices []string
+	eng          *chaos.Engine
 
 	reg *telemetry.Registry
 	log *trace.Log
@@ -323,65 +409,55 @@ type Controller struct {
 	treated    int
 	settleLeft int
 	tripped    string
+	// winner is the promoted candidate index; -1 until promotion.
+	winner int
 
-	acc     stageAccum
 	events  []trace.Event
 	reports []StageReport
 
-	telAdvance, telRollback, telPush, telCrash, telRejoin *telemetry.Counter
+	telAdvance, telRollback, telPush, telRebuild, telDrop, telPromote, telCrash, telRejoin *telemetry.Counter
 }
 
-// stageAccum accumulates one stage's window aggregates. Only windows with at
-// least one contributing treated host count toward the bake.
-type stageAccum struct {
-	windows     int
-	pressureSum float64
-	rpsRatioSum float64
-	savingsSum  float64
-	ooms        int64
-	latched     int
-	hosts       int
-}
-
-// cohort folds the accumulator into the stats the guardrails judge.
-func (a stageAccum) cohort() CohortStats {
-	s := CohortStats{Hosts: a.hosts, OOMKills: a.ooms, SwapLatched: a.latched, RPSRatio: 1}
-	if a.windows > 0 {
-		s.MemPressure = a.pressureSum / float64(a.windows)
-		s.RPSRatio = a.rpsRatioSum / float64(a.windows)
-	}
-	return s
-}
-
-// savings is the accumulated stage-mean resident savings of the treated
-// cohort relative to control.
-func (a stageAccum) savings() float64 {
-	if a.windows == 0 {
-		return 0
-	}
-	return a.savingsSum / float64(a.windows)
-}
-
-// New builds the fleet (every host starts on the baseline configuration)
-// and arms the crash schedules.
+// New builds the fleet (every host starts on the baseline policy) and arms
+// the crash schedules.
 func New(cfg Config) *Controller {
 	cfg = cfg.normalize()
 	c := &Controller{
-		cfg: cfg,
-		reg: telemetry.NewRegistry(),
-		log: trace.NewLog(4096),
-		rec: trace.NewRecorder(1 << 14),
+		cfg:    cfg,
+		winner: -1,
+		reg:    telemetry.NewRegistry(),
+		log:    trace.NewLog(4096),
+		rec:    trace.NewRecorder(1 << 14),
 	}
 	c.telAdvance = c.reg.Counter("rollout.stage_advances")
 	c.telRollback = c.reg.Counter("rollout.rollbacks")
-	c.telPush = c.reg.Counter("rollout.config_pushes")
+	c.telPush = c.reg.Counter("rollout.policy_pushes")
+	c.telRebuild = c.reg.Counter("rollout.mode_rebuilds")
+	c.telDrop = c.reg.Counter("rollout.candidate_drops")
+	c.telPromote = c.reg.Counter("rollout.promotions")
 	c.telCrash = c.reg.Counter("rollout.host_crashes")
 	c.telRejoin = c.reg.Counter("rollout.host_rejoins")
 	c.reg.GaugeFunc("rollout.stage", func() float64 { return float64(c.stageIdx) })
 	c.reg.GaugeFunc("rollout.treated_hosts", func() float64 { return float64(c.treated) })
+	c.reg.GaugeFunc("rollout.candidates_alive", func() float64 { return float64(c.aliveCount()) })
 
+	_, c.fleetDevices = fleet.DeviceCohorts(cfg.Hosts)
+	for i, pol := range cfg.Candidates {
+		c.cands = append(c.cands, &candState{idx: i, pol: pol, excluded: map[string]bool{}})
+	}
 	for i, s := range cfg.Hosts {
-		h := &host{index: i, spec: s}
+		w := s.Weight
+		if w <= 0 {
+			w = 1
+		}
+		h := &host{
+			index:     i,
+			spec:      s,
+			device:    s.DeviceClass(),
+			weight:    w,
+			assigned:  -1,
+			latchFrac: cfg.guardrailsFor(s.DeviceClass()).SwapUtilizationLatch,
+		}
 		c.buildHost(h)
 		c.hosts = append(c.hosts, h)
 	}
@@ -403,29 +479,78 @@ func New(cfg Config) *Controller {
 }
 
 // Telemetry exposes the control plane's metrics registry (stage gauges,
-// rollback/push/lifecycle counters, chaos injections).
+// rollback/push/drop/promotion/lifecycle counters, chaos injections).
 func (c *Controller) Telemetry() *telemetry.Registry { return c.reg }
 
 // Recorder exposes the span recorder carrying rollout instants for
 // Chrome-trace export.
 func (c *Controller) Recorder() *trace.Recorder { return c.rec }
 
-// buildHost assembles (or reassembles, after a crash) the host's simulation
-// with the configuration its cohort is currently entitled to. Incarnations
-// perturb the seed so a rebooted host does not replay its previous life.
-func (c *Controller) buildHost(h *host) {
-	spec := h.spec
-	cfg := c.cfg.Baseline
-	if h.candidate {
-		cfg = c.cfg.Candidate
+// policyFor resolves the policy the host is entitled to right now.
+func (c *Controller) policyFor(h *host) Policy {
+	if h.assigned >= 0 {
+		return c.cands[h.assigned].pol
 	}
+	return c.cfg.Baseline
+}
+
+// aliveCount is how many candidates are still racing.
+func (c *Controller) aliveCount() int {
+	n := 0
+	for _, cand := range c.cands {
+		if !cand.dropped {
+			n++
+		}
+	}
+	return n
+}
+
+// buildHost assembles (or reassembles, after a crash or a mode-changing
+// push) the host's simulation under the policy its cohort is currently
+// entitled to. The policy supplies the mode, Senpai config, and backend
+// knobs — overriding the spec's own (pushed policy wins over Spec.Senpai).
+// Incarnations perturb the seed so a rebooted host does not replay its
+// previous life.
+func (c *Controller) buildHost(h *host) {
+	pol := c.policyFor(h)
+	spec := h.spec
+	spec.Mode = pol.Mode
+	cfg := pol.Config
 	spec.Senpai = &cfg
+	if pol.ZswapPoolFrac > 0 {
+		spec.ZswapPoolFrac = pol.ZswapPoolFrac
+	}
+	if pol.SwapBytes > 0 {
+		spec.SwapBytes = pol.SwapBytes
+	}
 	spec.Seed = h.spec.Seed + uint64(h.incarnation)*0x9e3779b9
 	sys, app := fleet.BuildHost(spec)
 	h.sys, h.app = sys, app
+	h.runMode = pol.Mode
 	h.swapCap = swapCapacity(sys)
 	h.lastMem, h.lastCompleted, h.lastOOMs = 0, 0, 0
 	h.upWindows = 0
+}
+
+// pushPolicy applies the host's entitled policy to a live host: a live
+// Senpai config swap when the mode already matches, a full rebuild (the
+// crash/rejoin path) when the push changes the offload mode. Returns
+// whether the host was rebuilt.
+func (c *Controller) pushPolicy(h *host) bool {
+	pol := c.policyFor(h)
+	c.telPush.Inc()
+	if pol.Mode != h.runMode {
+		from := h.runMode
+		h.incarnation++
+		h.rebuilds++
+		c.buildHost(h)
+		c.telRebuild.Inc()
+		c.record(trace.KindHostRebuild, c.hostName(h),
+			"policy %s: mode %s -> %s, incarnation %d", pol.Name, from, pol.Mode, h.incarnation)
+		return true
+	}
+	h.sys.Senpai.SetConfig(pol.Config)
+	return false
 }
 
 // swapCapacity resolves the host's total offload capacity for the
@@ -472,16 +597,28 @@ func (c *Controller) Run() Result {
 	}
 }
 
-// candidateOn reports whether host index i is currently entitled to the
-// candidate configuration.
-func (c *Controller) candidateOn(i int) bool {
-	return c.tripped == "" && i < c.treated
+// entitlement resolves which candidate (or baseline, -1) a host is entitled
+// to right now — the policy a rejoining host boots with.
+func (c *Controller) entitlement(h *host) int {
+	if c.state == StateRolledBack || h.index >= c.treated {
+		return -1
+	}
+	if c.winner >= 0 {
+		if c.cands[c.winner].excluded[h.device] {
+			return -1
+		}
+		return c.winner
+	}
+	if k := h.assigned; k >= 0 && !c.cands[k].dropped && !c.cands[k].excluded[h.device] {
+		return k
+	}
+	return -1
 }
 
 // lifecycle evaluates the crash schedules at the current barrier and applies
 // pending transitions: a crashing host's simulation is discarded; a
-// rejoining host boots a fresh incarnation with the configuration its cohort
-// is entitled to right now.
+// rejoining host boots a fresh incarnation under the policy its cohort is
+// entitled to right now.
 func (c *Controller) lifecycle() {
 	c.eng.Tick(c.now)
 	for _, h := range c.hosts {
@@ -496,14 +633,11 @@ func (c *Controller) lifecycle() {
 			h.down = false
 			h.incarnation++
 			h.rejoins++
-			h.candidate = c.candidateOn(h.index)
+			h.assigned = c.entitlement(h)
 			c.buildHost(h)
-			cfgName := "baseline"
-			if h.candidate {
-				cfgName = "candidate"
-			}
 			c.telRejoin.Inc()
-			c.record(trace.KindHostRejoin, c.hostName(h), "incarnation %d up, config=%s", h.incarnation, cfgName)
+			c.record(trace.KindHostRejoin, c.hostName(h), "incarnation %d up, policy=%s",
+				h.incarnation, c.policyFor(h).Name)
 		}
 	}
 }
@@ -563,9 +697,9 @@ func (c *Controller) advanceHost(h *host) {
 	h.oomTotal += h.winOOMs
 
 	h.resident = float64(h.sys.NetResidentBytes())
-	if h.swapCap > 0 {
+	if h.swapCap > 0 && h.latchFrac > 0 {
 		if sw := h.sys.Server.Swap(); sw != nil {
-			if float64(sw.Stats().StoredBytes) >= c.cfg.Guardrails.SwapUtilizationLatch*float64(h.swapCap) {
+			if float64(sw.Stats().StoredBytes) >= h.latchFrac*float64(h.swapCap) {
 				h.swapLatched = true
 			}
 		}
@@ -586,20 +720,68 @@ func (c *Controller) advanceHost(h *host) {
 	}
 }
 
-// windowStats aggregates the window just completed: treated-cohort pressure,
-// baseline-normalized throughput against the control cohort, OOM kills,
-// swap latches, and resident savings vs control.
-func (c *Controller) windowStats() (stats CohortStats, savings float64) {
-	var treatedP, treatedRPS, controlRPS, treatedRes, controlRes float64
-	nT, nC := 0, 0
+// candWindow is one candidate's aggregates over the window just completed.
+type candWindow struct {
+	hosts    int
+	pressure float64
+	rpsRatio float64
+	savings  float64
+	ooms     int64
+	latched  int
+	dev      map[string]*devWindow
+}
+
+// devWindow is one (candidate, device-class) cohort's window aggregates.
+type devWindow struct {
+	hosts    int
+	pressure float64
+	rpsRatio float64
+	ooms     int64
+	latched  int
+}
+
+// rawSums are weighted sample sums pending normalization.
+type rawSums struct {
+	w, press, rps, res float64
+	hosts              int
+}
+
+// windowStats aggregates the window just completed, per candidate and per
+// device-class cohort: weighted mean pressure, baseline-normalized
+// throughput against the control cohort (device-matched where control hosts
+// of the class exist), OOM kills, swap latches, and weighted resident
+// savings vs control. Aggregation walks hosts in index order and devices in
+// sorted order, so results are deterministic.
+func (c *Controller) windowStats() []candWindow {
+	out := make([]candWindow, len(c.cands))
+	raw := make([]map[string]*rawSums, len(c.cands))
+	for k := range out {
+		out[k].rpsRatio = 1
+		out[k].dev = map[string]*devWindow{}
+		raw[k] = map[string]*rawSums{}
+	}
+	var ctrl rawSums
+	ctrlDev := map[string]*rawSums{}
+
 	for _, h := range c.hosts {
 		if h.down {
 			continue
 		}
-		if h.candidate {
-			stats.OOMKills += h.winOOMs
+		k := h.assigned
+		if k >= 0 {
+			cw := &out[k]
+			cw.ooms += h.winOOMs
 			if h.swapLatched {
-				stats.SwapLatched++
+				cw.latched++
+			}
+			dw := cw.dev[h.device]
+			if dw == nil {
+				dw = &devWindow{}
+				cw.dev[h.device] = dw
+			}
+			dw.ooms += h.winOOMs
+			if h.swapLatched {
+				dw.latched++
 			}
 		}
 		if !h.eligible(c.cfg.WarmWindows) {
@@ -612,38 +794,85 @@ func (c *Controller) windowStats() (stats CohortStats, savings float64) {
 		if h.baselineResident > 0 {
 			resNorm = h.resident / h.baselineResident
 		}
-		if h.candidate {
-			nT++
-			treatedP += h.winPressure
-			treatedRPS += rpsNorm
-			treatedRes += resNorm
-		} else {
-			nC++
-			controlRPS += rpsNorm
-			controlRes += resNorm
+		if k < 0 {
+			ctrl.w += h.weight
+			ctrl.press += h.weight * h.winPressure
+			ctrl.rps += h.weight * rpsNorm
+			ctrl.res += h.weight * resNorm
+			ctrl.hosts++
+			cd := ctrlDev[h.device]
+			if cd == nil {
+				cd = &rawSums{}
+				ctrlDev[h.device] = cd
+			}
+			cd.w += h.weight
+			cd.rps += h.weight * rpsNorm
+			cd.res += h.weight * resNorm
+			cd.hosts++
+			continue
+		}
+		rs := raw[k][h.device]
+		if rs == nil {
+			rs = &rawSums{}
+			raw[k][h.device] = rs
+		}
+		rs.w += h.weight
+		rs.press += h.weight * h.winPressure
+		rs.rps += h.weight * rpsNorm
+		rs.res += h.weight * resNorm
+		rs.hosts++
+	}
+
+	// Fleet-wide control means; 1.0 (the host's own baseline) when the
+	// control cohort is empty.
+	cRPS, cRes := 1.0, 1.0
+	if ctrl.w > 0 {
+		cRPS = ctrl.rps / ctrl.w
+		cRes = ctrl.res / ctrl.w
+	}
+	for k := range out {
+		cw := &out[k]
+		var tW, tP, tRPS, tRes float64
+		for _, d := range c.fleetDevices {
+			rs := raw[k][d]
+			if rs == nil || rs.hosts == 0 {
+				continue
+			}
+			tW += rs.w
+			tP += rs.press
+			tRPS += rs.rps
+			tRes += rs.res
+			dw := cw.dev[d]
+			dw.hosts = rs.hosts
+			dw.pressure = rs.press / rs.w
+			// Device-matched control where available.
+			dcRPS := cRPS
+			if cd := ctrlDev[d]; cd != nil && cd.w > 0 {
+				dcRPS = cd.rps / cd.w
+			}
+			dw.rpsRatio = rs.rps / rs.w
+			if dcRPS > 0 {
+				dw.rpsRatio /= dcRPS
+			}
+		}
+		for _, d := range c.fleetDevices {
+			if rs := raw[k][d]; rs != nil {
+				cw.hosts += rs.hosts
+			}
+		}
+		if tW == 0 {
+			continue
+		}
+		cw.pressure = tP / tW
+		cw.rpsRatio = tRPS / tW
+		if cRPS > 0 {
+			cw.rpsRatio /= cRPS
+		}
+		if cRes > 0 {
+			cw.savings = 1 - (tRes/tW)/cRes
 		}
 	}
-	stats.Hosts = nT
-	stats.RPSRatio = 1
-	if nT == 0 {
-		return stats, 0
-	}
-	stats.MemPressure = treatedP / float64(nT)
-	tRPS, cRPS := treatedRPS/float64(nT), 1.0
-	tRes, cRes := treatedRes/float64(nT), 1.0
-	if nC > 0 {
-		cRPS = controlRPS / float64(nC)
-		cRes = controlRes / float64(nC)
-	}
-	if cRPS > 0 {
-		stats.RPSRatio = tRPS / cRPS
-	} else {
-		stats.RPSRatio = tRPS
-	}
-	if cRes > 0 {
-		savings = 1 - tRes/cRes
-	}
-	return stats, savings
+	return out
 }
 
 // barrier is the single-threaded decision point after every window. It
@@ -655,21 +884,13 @@ func (c *Controller) barrier() bool {
 			c.beginStage(0)
 		}
 	case StateStaging:
-		stats, savings := c.windowStats()
-		if stats.Hosts > 0 {
-			c.acc.windows++
-			c.acc.pressureSum += stats.MemPressure
-			c.acc.rpsRatioSum += stats.RPSRatio
-			c.acc.savingsSum += savings
-			c.acc.hosts = stats.Hosts
-		}
-		c.acc.ooms = stats.OOMKills + c.acc.ooms
-		c.acc.latched = stats.SwapLatched
-		cum := c.acc.cohort()
-		if g, detail := c.cfg.Guardrails.Check(cum); g != "" {
-			c.rollback(g, detail, cum)
-		} else if c.acc.windows >= c.cfg.Plan[c.stageIdx].Bake {
-			c.finishStage(cum)
+		cws := c.windowStats()
+		c.fold(cws)
+		c.judge()
+		if c.aliveCount() == 0 {
+			c.rollback()
+		} else if c.bakeDone() {
+			c.finishStage()
 		}
 	case StateCompleted, StateRolledBack:
 		c.settleLeft--
@@ -680,12 +901,146 @@ func (c *Controller) barrier() bool {
 	return false
 }
 
-// beginStage enrolls the stage's cohort and pushes the candidate
-// configuration to its newly treated live hosts.
+// fold merges the window aggregates into the per-candidate stage and
+// lifetime accumulators.
+func (c *Controller) fold(cws []candWindow) {
+	for k, cand := range c.cands {
+		cw := &cws[k]
+		acc := &cand.acc
+		acc.ooms += cw.ooms
+		acc.latched = cw.latched
+		acc.hosts = cw.hosts
+		if cw.hosts > 0 {
+			acc.windows++
+			acc.pressureSum += cw.pressure
+			acc.rpsRatioSum += cw.rpsRatio
+			acc.savingsSum += cw.savings
+			cand.lifeWindows++
+			cand.lifeSavingsSum += cw.savings
+		}
+		for _, d := range c.fleetDevices {
+			dw := cw.dev[d]
+			if dw == nil {
+				continue
+			}
+			da := acc.dev[d]
+			if da == nil {
+				da = &devAccum{}
+				acc.dev[d] = da
+			}
+			da.ooms += dw.ooms
+			da.latched = dw.latched
+			da.hosts = dw.hosts
+			if dw.hosts > 0 {
+				da.windows++
+				da.pressureSum += dw.pressure
+				da.rpsRatioSum += dw.rpsRatio
+			}
+		}
+	}
+}
+
+// judge checks every live (candidate, device-class) cohort against its
+// class's guardrails on stage-cumulative aggregates, dropping cohorts that
+// trip — and whole candidates once every device class has tripped.
+func (c *Controller) judge() {
+	for _, cand := range c.cands {
+		if cand.dropped {
+			continue
+		}
+		for _, d := range c.fleetDevices {
+			if cand.excluded[d] {
+				continue
+			}
+			da := cand.acc.dev[d]
+			if da == nil {
+				continue
+			}
+			g := c.cfg.guardrailsFor(d)
+			if name, detail := g.Check(da.cohort(d)); name != "" {
+				c.dropDevice(cand, d, name, detail)
+			}
+		}
+		if !cand.dropped && len(cand.excluded) == len(c.fleetDevices) {
+			c.dropCandidate(cand)
+		}
+	}
+}
+
+// dropDevice rolls one (candidate, device-class) cohort back to baseline —
+// only where the guardrail says it must — and bars the candidate from that
+// class for the rest of the rollout.
+func (c *Controller) dropDevice(cand *candState, device, guardrail, detail string) {
+	cand.excluded[device] = true
+	cand.tripped = guardrail
+	cand.detail = detail
+	c.reg.Counter("rollout.guardrail_trips", telemetry.Label{Key: "guardrail", Value: guardrail}).Inc()
+	c.record(trace.KindRolloutTrip, cand.pol.Name+"@"+device, "%s: %s", guardrail, detail)
+	restored := 0
+	for _, h := range c.hosts {
+		if h.assigned != cand.idx || h.device != device {
+			continue
+		}
+		h.assigned = -1
+		if !h.down {
+			c.pushPolicy(h)
+			restored++
+		}
+	}
+	c.record(trace.KindRolloutDrop, cand.pol.Name+"@"+device,
+		"device cohort dropped, baseline restored on %d hosts", restored)
+}
+
+// dropCandidate takes a candidate out of the race everywhere.
+func (c *Controller) dropCandidate(cand *candState) {
+	cand.dropped = true
+	c.telDrop.Inc()
+	restored := 0
+	for _, h := range c.hosts {
+		if h.assigned != cand.idx {
+			continue
+		}
+		h.assigned = -1
+		if !h.down {
+			c.pushPolicy(h)
+			restored++
+		}
+	}
+	c.record(trace.KindRolloutDrop, cand.pol.Name,
+		"candidate dropped (%s), baseline restored on %d hosts", cand.tripped, restored)
+}
+
+// bakeDone reports whether every live candidate with hosts in the race has
+// held its guardrails for the stage's bake. Candidates without assigned
+// hosts this stage (e.g. a canary smaller than the field) do not gate.
+func (c *Controller) bakeDone() bool {
+	bake := c.cfg.Plan[c.stageIdx].Bake
+	assigned := make([]int, len(c.cands))
+	for _, h := range c.hosts {
+		if h.assigned >= 0 {
+			assigned[h.assigned]++
+		}
+	}
+	for k, cand := range c.cands {
+		if cand.dropped || assigned[k] == 0 {
+			continue
+		}
+		if cand.acc.windows < bake {
+			return false
+		}
+	}
+	return true
+}
+
+// beginStage enrolls the stage's cohort, partitions it among the surviving
+// candidates (or the promoted winner at the final stage), and pushes each
+// newly entitled policy — rebuilding hosts whose mode changes.
 func (c *Controller) beginStage(i int) {
 	c.stageIdx = i
 	c.state = StateStaging
-	c.acc = stageAccum{}
+	for _, cand := range c.cands {
+		cand.acc = candAccum{dev: map[string]*devAccum{}}
+	}
 	st := c.cfg.Plan[i]
 	want := int(math.Ceil(st.Frac * float64(len(c.hosts))))
 	if want > len(c.hosts) {
@@ -695,89 +1050,219 @@ func (c *Controller) beginStage(i int) {
 		want = 1
 	}
 	c.treated = want
-	pushed := 0
+	if i == len(c.cfg.Plan)-1 && c.winner < 0 {
+		c.promote()
+	}
+	var alive []int
+	for k, cand := range c.cands {
+		if !cand.dropped {
+			alive = append(alive, k)
+		}
+	}
+	pushed, rebuilt := 0, 0
+	counts := make([]int, len(c.cands))
 	for _, h := range c.hosts[:want] {
-		if h.candidate {
+		k := -1
+		switch {
+		case c.winner >= 0:
+			if !c.cands[c.winner].excluded[h.device] {
+				k = c.winner
+			}
+		default:
+			for j := 0; j < len(alive); j++ {
+				cand := c.cands[alive[(h.index+j)%len(alive)]]
+				if !cand.excluded[h.device] {
+					k = cand.idx
+					break
+				}
+			}
+		}
+		if k >= 0 {
+			counts[k]++
+		}
+		if k == h.assigned {
 			continue
 		}
-		h.candidate = true
+		h.assigned = k
 		if !h.down {
-			h.sys.Senpai.SetConfig(c.cfg.Candidate)
-			c.telPush.Inc()
+			if c.pushPolicy(h) {
+				rebuilt++
+			}
 			pushed++
 		}
 	}
-	c.record(trace.KindRolloutStage, st.Name,
-		"begin: %d/%d hosts on candidate (%d pushed)", want, len(c.hosts), pushed)
-	if pushed > 0 {
-		c.record(trace.KindRolloutPush, st.Name, "candidate config pushed to %d hosts", pushed)
+	var cohorts strings.Builder
+	for k, cand := range c.cands {
+		if cand.dropped {
+			continue
+		}
+		fmt.Fprintf(&cohorts, " %s=%d", cand.pol.Name, counts[k])
 	}
+	c.record(trace.KindRolloutStage, st.Name,
+		"begin: %d/%d hosts treated;%s (%d pushed, %d rebuilt)",
+		want, len(c.hosts), cohorts.String(), pushed, rebuilt)
+	if pushed > 0 {
+		c.record(trace.KindRolloutPush, st.Name, "policies pushed to %d hosts", pushed)
+	}
+}
+
+// promote picks the surviving candidate with the best lifetime weighted
+// savings (ties break toward the earlier candidate) as the rollout's winner;
+// the final stage carries it alone.
+func (c *Controller) promote() {
+	best := -1
+	for k, cand := range c.cands {
+		if cand.dropped {
+			continue
+		}
+		if best < 0 || cand.meanSavings() > c.cands[best].meanSavings() {
+			best = k
+		}
+	}
+	if best < 0 {
+		return
+	}
+	c.winner = best
+	c.telPromote.Inc()
+	var scores strings.Builder
+	for _, cand := range c.cands {
+		if cand.dropped {
+			continue
+		}
+		fmt.Fprintf(&scores, " %s=%.2f%%", cand.pol.Name, 100*cand.meanSavings())
+	}
+	c.record(trace.KindRolloutPromote, c.cands[best].pol.Name,
+		"promoted on weighted savings over %d windows:%s", c.cands[best].lifeWindows, scores.String())
+}
+
+// candReports snapshots every candidate's stage accumulators into reports,
+// in candidate order with device cohorts sorted.
+func (c *Controller) candReports(terminal string) []CandidateStageReport {
+	assigned := make([]int, len(c.cands))
+	for _, h := range c.hosts {
+		if h.assigned >= 0 {
+			assigned[h.assigned]++
+		}
+	}
+	out := make([]CandidateStageReport, 0, len(c.cands))
+	for k, cand := range c.cands {
+		r := CandidateStageReport{
+			Policy:         cand.pol.Name,
+			Windows:        cand.acc.windows,
+			Stats:          cand.acc.cohort(),
+			SavingsFrac:    cand.acc.savings(),
+			Tripped:        cand.tripped,
+			Detail:         cand.detail,
+			DroppedDevices: cand.excludedList(),
+		}
+		for _, d := range c.fleetDevices {
+			if da := cand.acc.dev[d]; da != nil {
+				r.Cohorts = append(r.Cohorts, da.cohort(d))
+			}
+		}
+		switch {
+		case cand.dropped:
+			r.Verdict = "dropped"
+		case assigned[k] == 0 && c.winner >= 0 && c.winner != k:
+			r.Verdict = "idle"
+		case assigned[k] == 0:
+			r.Verdict = "idle"
+		default:
+			r.Verdict = terminal
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 // finishStage records the stage's report and advances the plan (or
 // completes the rollout at the last stage).
-func (c *Controller) finishStage(stats CohortStats) {
+func (c *Controller) finishStage() {
 	st := c.cfg.Plan[c.stageIdx]
 	last := c.stageIdx == len(c.cfg.Plan)-1
 	verdict := "advance"
 	if last {
 		verdict = "complete"
 	}
+	if last && c.winner < 0 {
+		// Single-stage plans race and promote in the same stage.
+		c.promote()
+	}
 	c.reports = append(c.reports, StageReport{
-		Stage:       st,
-		Windows:     c.acc.windows,
-		Stats:       stats,
-		SavingsFrac: c.acc.savings(),
-		Verdict:     verdict,
+		Stage:      st,
+		Verdict:    verdict,
+		Candidates: c.candReports(verdict),
 	})
 	c.telAdvance.Inc()
-	c.record(trace.KindRolloutStage, st.Name,
-		"guardrails held over %d windows: psi=%.4f rps=%.3f oom=%d latched=%d savings=%.1f%%",
-		c.acc.windows, stats.MemPressure, stats.RPSRatio, stats.OOMKills, stats.SwapLatched,
-		100*c.acc.savings())
+	for _, cand := range c.cands {
+		if cand.dropped || cand.acc.windows == 0 {
+			continue
+		}
+		stats := cand.acc.cohort()
+		c.record(trace.KindRolloutStage, st.Name,
+			"%s held over %d windows: psi=%.4f rps=%.3f oom=%d latched=%d savings=%.1f%%",
+			cand.pol.Name, cand.acc.windows, stats.MemPressure, stats.RPSRatio,
+			stats.OOMKills, stats.SwapLatched, 100*cand.acc.savings())
+	}
 	if last {
+		// Converge the treated prefix on the winner: hosts still carrying a
+		// losing candidate (single-stage plans promote only now) move over.
+		if c.winner >= 0 {
+			for _, h := range c.hosts[:c.treated] {
+				k := -1
+				if !c.cands[c.winner].excluded[h.device] {
+					k = c.winner
+				}
+				if k == h.assigned {
+					continue
+				}
+				h.assigned = k
+				if !h.down {
+					c.pushPolicy(h)
+				}
+			}
+		}
 		c.state = StateCompleted
 		c.settleLeft = c.cfg.SettleWindows
+		on := 0
+		for _, h := range c.hosts {
+			if h.assigned == c.winner && c.winner >= 0 {
+				on++
+			}
+		}
+		name := ""
+		if c.winner >= 0 {
+			name = c.cands[c.winner].pol.Name
+		}
 		c.record(trace.KindRolloutComplete, "fleet",
-			"candidate on %d/%d hosts", c.treated, len(c.hosts))
+			"policy %s on %d/%d hosts", name, on, len(c.hosts))
 		return
 	}
 	c.beginStage(c.stageIdx + 1)
 }
 
-// rollback restores the baseline configuration on every treated live host
-// (crashed hosts will rejoin on baseline) and ends the rollout.
-func (c *Controller) rollback(guardrail, detail string, stats CohortStats) {
+// rollback ends the rollout after every candidate tripped: the per-cohort
+// drops already restored the baseline everywhere (crashed hosts will rejoin
+// on baseline), so this just records the terminal verdict.
+func (c *Controller) rollback() {
 	st := c.cfg.Plan[c.stageIdx]
-	c.reg.Counter("rollout.guardrail_trips", telemetry.Label{Key: "guardrail", Value: guardrail}).Inc()
-	c.record(trace.KindRolloutTrip, st.Name, "%s: %s", guardrail, detail)
-	c.reports = append(c.reports, StageReport{
-		Stage:       st,
-		Windows:     c.acc.windows,
-		Stats:       stats,
-		SavingsFrac: c.acc.savings(),
-		Verdict:     "rollback",
-		Tripped:     guardrail,
-		Detail:      detail,
-	})
-	restored := 0
-	for _, h := range c.hosts {
-		if !h.candidate {
-			continue
-		}
-		h.candidate = false
-		if !h.down {
-			h.sys.Senpai.SetConfig(c.cfg.Baseline)
-			c.telPush.Inc()
-			restored++
+	// The last dropped candidate's guardrail names the rollback.
+	for _, cand := range c.cands {
+		if cand.tripped != "" {
+			c.tripped = cand.tripped
 		}
 	}
-	c.tripped = guardrail
+	c.reports = append(c.reports, StageReport{
+		Stage:      st,
+		Verdict:    "rollback",
+		Candidates: c.candReports("dropped"),
+	})
 	c.treated = 0
 	c.state = StateRolledBack
 	c.settleLeft = c.cfg.SettleWindows
 	c.telRollback.Inc()
-	c.record(trace.KindRolloutRollback, st.Name, "baseline restored on %d hosts", restored)
+	c.record(trace.KindRolloutRollback, st.Name,
+		"all %d candidates dropped, fleet on baseline", len(c.cands))
 }
 
 // result assembles the scorecard.
@@ -798,15 +1283,34 @@ func (c *Controller) result() Result {
 		Window:           c.cfg.Window,
 		Duration:         vclock.Duration(c.now),
 	}
+	if c.state == StateCompleted && c.winner >= 0 {
+		r.Promoted = c.cands[c.winner].pol.Name
+	}
+	for _, cand := range c.cands {
+		r.Candidates = append(r.Candidates, CandidateOutcome{
+			Policy:          cand.pol.Name,
+			Mode:            cand.pol.Mode.String(),
+			Dropped:         cand.dropped,
+			Tripped:         cand.tripped,
+			Detail:          cand.detail,
+			ExcludedDevices: cand.excludedList(),
+			MeanSavingsFrac: cand.meanSavings(),
+			Windows:         cand.lifeWindows,
+			Promoted:        c.state == StateCompleted && cand.idx == c.winner,
+		})
+	}
 	for _, h := range c.hosts {
 		r.Hosts = append(r.Hosts, HostReport{
 			Index:       h.index,
 			App:         h.spec.App,
+			Device:      h.device,
 			Crashes:     h.crashes,
 			Rejoins:     h.rejoins,
+			Rebuilds:    h.rebuilds,
 			OOMKills:    h.oomTotal,
 			SwapLatched: h.swapLatched,
-			OnCandidate: h.candidate,
+			Policy:      c.policyFor(h).Name,
+			OnCandidate: h.assigned >= 0,
 		})
 	}
 	return r

@@ -58,6 +58,18 @@ func aggressiveCandidate() senpai.Config {
 	return c
 }
 
+func baselinePolicy() Policy {
+	return Policy{Name: "baseline", Mode: core.ModeZswap, Config: idleBaseline()}
+}
+
+func safePolicy() Policy {
+	return Policy{Name: "candidate", Mode: core.ModeZswap, Config: safeCandidate()}
+}
+
+func aggressivePolicy() Policy {
+	return Policy{Name: "candidate", Mode: core.ModeZswap, Config: aggressiveCandidate()}
+}
+
 func testGuardrails() Guardrails {
 	return Guardrails{
 		MaxMemPressure:       0.005,
@@ -68,11 +80,11 @@ func testGuardrails() Guardrails {
 	}
 }
 
-func testConfig(candidate senpai.Config) Config {
+func testConfig(candidate Policy) Config {
 	return Config{
 		Hosts:         testFleet(4),
-		Baseline:      idleBaseline(),
-		Candidate:     candidate,
+		Baseline:      baselinePolicy(),
+		Candidates:    []Policy{candidate},
 		Plan:          []Stage{{Name: "canary", Frac: 0.25, Bake: 3}, {Name: "fleet", Frac: 1.0, Bake: 3}},
 		Guardrails:    testGuardrails(),
 		Window:        30 * vclock.Second,
@@ -82,22 +94,39 @@ func testConfig(candidate senpai.Config) Config {
 	}
 }
 
+// TestGuardrailsCheck pins the trip ordering (oom > psi > rps > swap) and
+// the asymmetric zero semantics: zero thresholds disable, zero counts
+// tolerate none, and negative (Unlimited) counts disable.
 func TestGuardrailsCheck(t *testing.T) {
 	g := testGuardrails()
+	zero := Guardrails{}
+	off := Guardrails{MaxOOMKills: Unlimited, MaxSwapLatched: Unlimited}
 	cases := []struct {
 		name  string
+		g     Guardrails
 		stats CohortStats
 		want  string
 	}{
-		{"healthy", CohortStats{Hosts: 2, MemPressure: 0.001, RPSRatio: 0.99}, ""},
-		{"no evidence passes", CohortStats{Hosts: 0, MemPressure: 1, RPSRatio: 0}, ""},
-		{"psi overshoot", CohortStats{Hosts: 2, MemPressure: 0.02, RPSRatio: 1}, "psi"},
-		{"rps dip", CohortStats{Hosts: 2, MemPressure: 0.001, RPSRatio: 0.5}, "rps"},
-		{"oom outranks psi", CohortStats{Hosts: 2, MemPressure: 0.02, RPSRatio: 1, OOMKills: 1}, "oom"},
-		{"swap latch", CohortStats{Hosts: 2, MemPressure: 0.001, RPSRatio: 1, SwapLatched: 1}, "swap"},
+		{"healthy", g, CohortStats{Hosts: 2, MemPressure: 0.001, RPSRatio: 0.99}, ""},
+		{"no evidence passes", g, CohortStats{Hosts: 0, MemPressure: 1, RPSRatio: 0, OOMKills: 9}, ""},
+		{"psi overshoot", g, CohortStats{Hosts: 2, MemPressure: 0.02, RPSRatio: 1}, "psi"},
+		{"rps dip", g, CohortStats{Hosts: 2, MemPressure: 0.001, RPSRatio: 0.5}, "rps"},
+		{"swap latch", g, CohortStats{Hosts: 2, MemPressure: 0.001, RPSRatio: 1, SwapLatched: 1}, "swap"},
+		// Trip ordering: the most severe signal names the verdict.
+		{"oom outranks psi", g, CohortStats{Hosts: 2, MemPressure: 0.02, RPSRatio: 1, OOMKills: 1}, "oom"},
+		{"psi outranks rps", g, CohortStats{Hosts: 2, MemPressure: 0.02, RPSRatio: 0.5}, "psi"},
+		{"rps outranks swap", g, CohortStats{Hosts: 2, MemPressure: 0.001, RPSRatio: 0.5, SwapLatched: 1}, "rps"},
+		// Zero-value bundle: thresholds are disabled, counts tolerate none.
+		{"zero psi disabled", zero, CohortStats{Hosts: 2, MemPressure: 0.9, RPSRatio: 1}, ""},
+		{"zero rps disabled", zero, CohortStats{Hosts: 2, RPSRatio: 0.01}, ""},
+		{"zero oom tolerates none", zero, CohortStats{Hosts: 2, RPSRatio: 1, OOMKills: 1}, "oom"},
+		{"zero latch tolerates none", zero, CohortStats{Hosts: 2, RPSRatio: 1, SwapLatched: 1}, "swap"},
+		// Unlimited disables the count checks explicitly.
+		{"unlimited oom disabled", off, CohortStats{Hosts: 2, RPSRatio: 1, OOMKills: 99}, ""},
+		{"unlimited latch disabled", off, CohortStats{Hosts: 2, RPSRatio: 1, SwapLatched: 99}, ""},
 	}
 	for _, tc := range cases {
-		got, detail := g.Check(tc.stats)
+		got, detail := tc.g.Check(tc.stats)
 		if got != tc.want {
 			t.Errorf("%s: Check = %q (%s), want %q", tc.name, got, detail, tc.want)
 		}
@@ -117,29 +146,69 @@ func TestConfigValidation(t *testing.T) {
 		}()
 		cfg.normalize()
 	}
+	oneHost := []fleet.Spec{{App: "feed", Mode: core.ModeZswap}}
 	mustPanic("no hosts", Config{})
-	mustPanic("mode off", Config{
-		Hosts:    []fleet.Spec{{App: "feed", Mode: core.ModeOff}},
-		Baseline: idleBaseline(), Candidate: safeCandidate(),
+	mustPanic("no candidates", Config{Hosts: oneHost, Baseline: baselinePolicy()})
+	mustPanic("baseline missing mode", Config{
+		Hosts:      oneHost,
+		Baseline:   Policy{Config: idleBaseline()},
+		Candidates: []Policy{safePolicy()},
 	})
-	mustPanic("zero candidate", Config{
-		Hosts:    []fleet.Spec{{App: "feed", Mode: core.ModeZswap}},
-		Baseline: idleBaseline(),
+	mustPanic("baseline zero-interval config", Config{
+		Hosts:      oneHost,
+		Baseline:   Policy{Mode: core.ModeZswap},
+		Candidates: []Policy{safePolicy()},
+	})
+	mustPanic("candidate missing mode", Config{
+		Hosts:      oneHost,
+		Baseline:   baselinePolicy(),
+		Candidates: []Policy{{Config: safeCandidate()}},
+	})
+	mustPanic("candidate zero-interval config", Config{
+		Hosts:      oneHost,
+		Baseline:   baselinePolicy(),
+		Candidates: []Policy{{Mode: core.ModeTiered}},
+	})
+	mustPanic("duplicate policy names", Config{
+		Hosts:      testFleet(4),
+		Baseline:   baselinePolicy(),
+		Candidates: []Policy{safePolicy(), safePolicy()},
+	})
+	mustPanic("candidate named like baseline", Config{
+		Hosts:      oneHost,
+		Baseline:   baselinePolicy(),
+		Candidates: []Policy{{Name: "baseline", Mode: core.ModeZswap, Config: safeCandidate()}},
+	})
+	mustPanic("more candidates than hosts", Config{
+		Hosts:      oneHost,
+		Baseline:   baselinePolicy(),
+		Candidates: []Policy{safePolicy(), {Name: "c2", Mode: core.ModeZswap, Config: safeCandidate()}},
 	})
 	mustPanic("shrinking plan", Config{
-		Hosts:    []fleet.Spec{{App: "feed", Mode: core.ModeZswap}},
-		Baseline: idleBaseline(), Candidate: safeCandidate(),
+		Hosts: oneHost, Baseline: baselinePolicy(), Candidates: []Policy{safePolicy()},
 		Plan: []Stage{{Name: "a", Frac: 0.5}, {Name: "b", Frac: 0.2}},
 	})
+	mustPanic("zero-frac stage", Config{
+		Hosts: oneHost, Baseline: baselinePolicy(), Candidates: []Policy{safePolicy()},
+		Plan: []Stage{{Name: "a", Frac: 0}},
+	})
+	mustPanic("over-unity stage", Config{
+		Hosts: oneHost, Baseline: baselinePolicy(), Candidates: []Policy{safePolicy()},
+		Plan: []Stage{{Name: "a", Frac: 1.5}},
+	})
 	mustPanic("crash out of range", Config{
-		Hosts:    []fleet.Spec{{App: "feed", Mode: core.ModeZswap}},
-		Baseline: idleBaseline(), Candidate: safeCandidate(),
+		Hosts: oneHost, Baseline: baselinePolicy(), Candidates: []Policy{safePolicy()},
 		Crashes: []Crash{{Host: 5}},
+	})
+	mustPanic("empty device-guardrail key", Config{
+		Hosts: oneHost, Baseline: baselinePolicy(), Candidates: []Policy{safePolicy()},
+		DeviceGuardrails: map[string]Guardrails{"": DefaultGuardrails()},
 	})
 
 	got := Config{
-		Hosts:    []fleet.Spec{{App: "feed", Mode: core.ModeZswap}},
-		Baseline: idleBaseline(), Candidate: safeCandidate(),
+		Hosts:      oneHost,
+		Baseline:   Policy{Mode: core.ModeZswap, Config: idleBaseline()},
+		Candidates: []Policy{{Mode: core.ModeZswap, Config: safeCandidate()}},
 	}.normalize()
 	if len(got.Plan) != len(DefaultPlan()) || got.Guardrails != DefaultGuardrails() {
 		t.Fatalf("defaults not applied: %+v", got)
@@ -147,15 +216,41 @@ func TestConfigValidation(t *testing.T) {
 	if got.Window != 30*vclock.Second || got.WarmWindows != 4 || got.Workers != 4 {
 		t.Fatalf("scalar defaults not applied: %+v", got)
 	}
+	if got.Baseline.Name != "baseline" || got.Candidates[0].Name != "cand-1" {
+		t.Fatalf("policy name defaults not applied: %q/%q", got.Baseline.Name, got.Candidates[0].Name)
+	}
+}
+
+// TestSpecSenpaiPrecedence pins the ownership rule: while a host is owned by
+// a rollout controller, the pushed policy supplies mode and Senpai config —
+// the fleet.Spec's own Mode/Senpai fields are overridden on every build.
+func TestSpecSenpaiPrecedence(t *testing.T) {
+	custom := senpai.ConfigA()
+	custom.ReclaimRatio = 0.9 // absurd; must never reach a host
+	cfg := testConfig(safePolicy())
+	cfg.Hosts[0].Senpai = &custom
+	cfg.Hosts[0].Mode = core.ModeSSDSwap
+
+	c := New(cfg)
+	h := c.hosts[0]
+	if got := h.sys.Senpai.Config(); got != cfg.Baseline.Config {
+		t.Fatalf("host 0 boots with spec Senpai config %+v, want baseline policy %+v", got, cfg.Baseline.Config)
+	}
+	if h.runMode != core.ModeZswap {
+		t.Fatalf("host 0 boots in spec mode %s, want baseline policy mode zswap", h.runMode)
+	}
 }
 
 func TestSafeRolloutCompletes(t *testing.T) {
-	r := New(testConfig(safeCandidate())).Run()
+	r := New(testConfig(safePolicy())).Run()
 	if !r.Completed() {
 		t.Fatalf("state = %s, want completed; log:\n%s", r.State, r.EventLog())
 	}
 	if r.TrippedGuardrail != "" {
 		t.Fatalf("guardrail %q tripped on the safe config", r.TrippedGuardrail)
+	}
+	if r.Promoted != "candidate" {
+		t.Fatalf("promoted = %q, want candidate", r.Promoted)
 	}
 	if len(r.Stages) != 2 {
 		t.Fatalf("stage reports = %d, want 2", len(r.Stages))
@@ -164,8 +259,8 @@ func TestSafeRolloutCompletes(t *testing.T) {
 		t.Fatalf("verdicts = %q, %q", r.Stages[0].Verdict, r.Stages[1].Verdict)
 	}
 	for _, h := range r.Hosts {
-		if !h.OnCandidate {
-			t.Fatalf("host %d not on candidate after completion", h.Index)
+		if !h.OnCandidate || h.Policy != "candidate" {
+			t.Fatalf("host %d on %q after completion, want candidate", h.Index, h.Policy)
 		}
 		if h.OOMKills != 0 {
 			t.Fatalf("host %d suffered %d OOM kills", h.Index, h.OOMKills)
@@ -174,7 +269,7 @@ func TestSafeRolloutCompletes(t *testing.T) {
 	// Offloading against an idle baseline must show savings at the canary
 	// stage, where the untreated control cohort factors out natural
 	// footprint drift.
-	if s := r.Stages[0].SavingsFrac; s <= 0 {
+	if s := r.Stages[0].Candidates[0].SavingsFrac; s <= 0 {
 		t.Fatalf("canary-stage savings = %.2f%%, want positive", 100*s)
 	}
 	if !strings.Contains(r.Render(), "completed") {
@@ -183,7 +278,7 @@ func TestSafeRolloutCompletes(t *testing.T) {
 }
 
 func TestAggressiveRolloutRollsBackAtCanary(t *testing.T) {
-	r := New(testConfig(aggressiveCandidate())).Run()
+	r := New(testConfig(aggressivePolicy())).Run()
 	if !r.RolledBack() {
 		t.Fatalf("state = %s, want rolled-back; log:\n%s", r.State, r.EventLog())
 	}
@@ -194,29 +289,162 @@ func TestAggressiveRolloutRollsBackAtCanary(t *testing.T) {
 	if last.Stage.Name != "canary" || last.Verdict != "rollback" {
 		t.Fatalf("rollback stage = %q/%q, want canary/rollback", last.Stage.Name, last.Verdict)
 	}
+	if !r.Candidates[0].Dropped || r.Candidates[0].Tripped != "psi" {
+		t.Fatalf("candidate outcome = %+v, want dropped on psi", r.Candidates[0])
+	}
 	// The blast radius of a bad config must stay inside the canary cohort.
 	if n := r.OOMKillsOutsideCanary(); n != 0 {
 		t.Fatalf("%d OOM kills outside the canary cohort", n)
 	}
 	for _, h := range r.Hosts {
-		if h.OnCandidate {
-			t.Fatalf("host %d still on candidate after rollback", h.Index)
+		if h.OnCandidate || h.Policy != "baseline" {
+			t.Fatalf("host %d still on %q after rollback", h.Index, h.Policy)
 		}
 	}
-	// The decision log must show the trip and the restore.
+	// The decision log must show the trip, the drop, and the rollback.
 	log := r.EventLog()
-	for _, kind := range []string{string(trace.KindRolloutTrip), string(trace.KindRolloutRollback)} {
+	for _, kind := range []string{
+		string(trace.KindRolloutTrip),
+		string(trace.KindRolloutDrop),
+		string(trace.KindRolloutRollback),
+	} {
 		if !strings.Contains(log, kind) {
 			t.Fatalf("event log lacks %s:\n%s", kind, log)
 		}
 	}
 }
 
+// TestModeChangeRolloutRebuilds pins the tentpole: a policy whose mode
+// differs from the running host is applied by rebuilding the host through
+// the crash/rejoin path at a stage barrier.
+func TestModeChangeRolloutRebuilds(t *testing.T) {
+	cfg := testConfig(Policy{Name: "tiered", Mode: core.ModeTiered, Config: safeCandidate()})
+	r := New(cfg).Run()
+	if !r.Completed() {
+		t.Fatalf("state = %s, want completed; log:\n%s", r.State, r.EventLog())
+	}
+	if r.Promoted != "tiered" {
+		t.Fatalf("promoted = %q, want tiered", r.Promoted)
+	}
+	for _, h := range r.Hosts {
+		if h.Rebuilds < 1 {
+			t.Fatalf("host %d rebuilds = %d, want >= 1 (zswap -> tiered)", h.Index, h.Rebuilds)
+		}
+		if h.OOMKills != 0 {
+			t.Fatalf("host %d suffered %d OOM kills during mode change", h.Index, h.OOMKills)
+		}
+	}
+	if !strings.Contains(r.EventLog(), string(trace.KindHostRebuild)) {
+		t.Fatalf("event log lacks %s:\n%s", trace.KindHostRebuild, r.EventLog())
+	}
+}
+
+// TestDeviceGuardrailsTripCohort pins per-device-class guardrails: a strict
+// bundle on one class drops only that cohort while the rest of the fleet
+// carries the candidate to completion.
+func TestDeviceGuardrailsTripCohort(t *testing.T) {
+	hosts := testFleet(4)
+	for i, d := range []string{"C", "F", "C", "F"} {
+		hosts[i].Device = d
+	}
+	lax := Guardrails{MaxMemPressure: 0.9, MaxOOMKills: Unlimited, MaxSwapLatched: Unlimited}
+	cfg := Config{
+		Hosts:            hosts,
+		Baseline:         baselinePolicy(),
+		Candidates:       []Policy{aggressivePolicy()},
+		Plan:             []Stage{{Name: "canary", Frac: 0.5, Bake: 3}, {Name: "fleet", Frac: 1.0, Bake: 3}},
+		Guardrails:       lax,
+		DeviceGuardrails: map[string]Guardrails{"F": testGuardrails()},
+		Window:           30 * vclock.Second,
+		WarmWindows:      2,
+		SettleWindows:    1,
+		Seed:             42,
+	}
+	r := New(cfg).Run()
+	if !r.Completed() {
+		t.Fatalf("state = %s, want completed with F excluded; log:\n%s", r.State, r.EventLog())
+	}
+	out := r.Candidates[0]
+	if out.Dropped {
+		t.Fatalf("candidate fully dropped; want only the F cohort excluded; log:\n%s", r.EventLog())
+	}
+	if len(out.ExcludedDevices) != 1 || out.ExcludedDevices[0] != "F" {
+		t.Fatalf("excluded devices = %v, want [F]; log:\n%s", out.ExcludedDevices, r.EventLog())
+	}
+	for _, h := range r.Hosts {
+		wantPolicy := "candidate"
+		if h.Device == "F" {
+			wantPolicy = "baseline"
+		}
+		if h.Policy != wantPolicy {
+			t.Fatalf("host %d (device %s) on %q, want %q", h.Index, h.Device, h.Policy, wantPolicy)
+		}
+	}
+}
+
+// banditConfig races three candidates on one device class: a mild and a
+// stronger safe config plus a hot config that must trip the PSI guardrail.
+func banditConfig() Config {
+	mild := safeCandidate()
+	mild.ReclaimRatio = 0.002
+	return Config{
+		Hosts:    testFleet(6),
+		Baseline: baselinePolicy(),
+		Candidates: []Policy{
+			{Name: "cand-mild", Mode: core.ModeZswap, Config: mild},
+			{Name: "cand-strong", Mode: core.ModeZswap, Config: safeCandidate()},
+			{Name: "cand-hot", Mode: core.ModeZswap, Config: aggressiveCandidate()},
+		},
+		Plan:          []Stage{{Name: "race", Frac: 0.5, Bake: 3}, {Name: "fleet", Frac: 1.0, Bake: 3}},
+		Guardrails:    testGuardrails(),
+		Window:        30 * vclock.Second,
+		WarmWindows:   2,
+		SettleWindows: 1,
+		Seed:          42,
+	}
+}
+
+// TestBanditRacePromotesBestSurvivor pins the K-candidate race: the hot
+// candidate trips and drops, and the final stage promotes the surviving
+// candidate with the best weighted savings.
+func TestBanditRacePromotesBestSurvivor(t *testing.T) {
+	r := New(banditConfig()).Run()
+	if !r.Completed() {
+		t.Fatalf("state = %s, want completed; log:\n%s", r.State, r.EventLog())
+	}
+	byName := map[string]CandidateOutcome{}
+	for _, c := range r.Candidates {
+		byName[c.Policy] = c
+	}
+	if !byName["cand-hot"].Dropped {
+		t.Fatalf("cand-hot survived; outcomes: %+v; log:\n%s", r.Candidates, r.EventLog())
+	}
+	if byName["cand-mild"].Dropped || byName["cand-strong"].Dropped {
+		t.Fatalf("safe candidate dropped; outcomes: %+v; log:\n%s", r.Candidates, r.EventLog())
+	}
+	if r.Promoted != "cand-strong" {
+		t.Fatalf("promoted = %q, want cand-strong (savings %0.2f%% vs mild %0.2f%%); log:\n%s",
+			r.Promoted, 100*byName["cand-strong"].MeanSavingsFrac,
+			100*byName["cand-mild"].MeanSavingsFrac, r.EventLog())
+	}
+	if !byName["cand-strong"].Promoted || byName["cand-mild"].Promoted {
+		t.Fatalf("promotion flags wrong: %+v", r.Candidates)
+	}
+	for _, h := range r.Hosts {
+		if h.Policy != "cand-strong" {
+			t.Fatalf("host %d ended on %q, want cand-strong", h.Index, h.Policy)
+		}
+	}
+	if !strings.Contains(r.EventLog(), string(trace.KindRolloutPromote)) {
+		t.Fatalf("event log lacks %s:\n%s", trace.KindRolloutPromote, r.EventLog())
+	}
+}
+
 func TestRolloutDeterministicUnderChurn(t *testing.T) {
 	build := func() Config {
-		cfg := testConfig(safeCandidate())
+		cfg := testConfig(safePolicy())
 		// Knock out a non-canary host mid-rollout; it must rejoin with the
-		// cohort's current configuration without perturbing determinism.
+		// policy its cohort is entitled to without perturbing determinism.
 		cfg.Crashes = []Crash{{
 			Host:     2,
 			Schedule: chaos.Schedule{At: vclock.Time(3 * cfg.Window), Dur: 2 * cfg.Window},
@@ -244,18 +472,41 @@ func TestRolloutDeterministicUnderChurn(t *testing.T) {
 	if !a.Completed() {
 		t.Fatalf("state = %s under churn, want completed; log:\n%s", a.State, log)
 	}
-	if !h.OnCandidate {
-		t.Fatalf("rejoined host not on candidate after completion")
+	if !h.OnCandidate || h.Policy != "candidate" {
+		t.Fatalf("rejoined host on %q after completion, want candidate", h.Policy)
+	}
+}
+
+// TestBanditDeterministicUnderChurn pins the race's event log byte-for-byte
+// across identical runs with churn, drops, and promotion in play.
+func TestBanditDeterministicUnderChurn(t *testing.T) {
+	build := func() Config {
+		cfg := banditConfig()
+		cfg.Crashes = []Crash{{
+			Host:     4,
+			Schedule: chaos.Schedule{At: vclock.Time(4 * cfg.Window), Dur: 2 * cfg.Window},
+		}}
+		return cfg
+	}
+	a := New(build()).Run()
+	b := New(build()).Run()
+	if a.EventLog() != b.EventLog() {
+		t.Fatalf("bandit event logs differ across identical runs:\n--- a ---\n%s\n--- b ---\n%s",
+			a.EventLog(), b.EventLog())
+	}
+	if !a.Completed() || a.Promoted != b.Promoted {
+		t.Fatalf("state=%s promoted a=%q b=%q; log:\n%s", a.State, a.Promoted, b.Promoted, a.EventLog())
 	}
 }
 
 func TestRolloutTelemetryCounters(t *testing.T) {
-	c := New(testConfig(aggressiveCandidate()))
+	c := New(testConfig(aggressivePolicy()))
 	c.Run()
 	snap := c.Telemetry().Snapshot()
 	want := map[string]bool{
 		"rollout.rollbacks":       false,
-		"rollout.config_pushes":   false,
+		"rollout.policy_pushes":   false,
+		"rollout.candidate_drops": false,
 		"rollout.guardrail_trips": false,
 	}
 	for _, m := range snap.Metrics {

@@ -195,10 +195,12 @@ func New(cfg Config, swap backend.SwapBackend) *Controller {
 func (c *Controller) Config() Config { return c.cfg }
 
 // SetConfig replaces the controller's global configuration at runtime — the
-// way the fleet control plane pushes a candidate configuration to a running
-// host (and pushes the baseline back on rollback). Per-target overrides are
-// preserved; PSI baselines carry over so the next interval differences
-// against the same totals.
+// way the fleet control plane pushes a policy's configuration to a running
+// host (and pushes the baseline back on a drop or rollback). While a host is
+// owned by a rollout controller, pushed policies win over the boot-time
+// config from fleet.Spec.Senpai / core.Options.Senpai. Per-target overrides
+// (AddTargetWithConfig) are preserved; PSI baselines carry over so the next
+// interval differences against the same totals.
 func (c *Controller) SetConfig(cfg Config) {
 	if cfg.Interval <= 0 {
 		panic("senpai: interval must be positive")

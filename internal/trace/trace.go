@@ -33,16 +33,20 @@ const (
 	// nominal, logged next to the controller reactions they provoke.
 	KindChaosInject  Kind = "chaos.inject"
 	KindChaosRestore Kind = "chaos.restore"
-	// Fleet control-plane decisions: stage transitions of a staged config
-	// rollout, guardrail verdicts, automatic rollbacks, and host lifecycle
-	// (crash/rejoin) events.
+	// Fleet control-plane decisions: stage transitions of a staged policy
+	// rollout, guardrail verdicts (per candidate and device cohort),
+	// candidate drops and promotions of the bandit race, automatic
+	// rollbacks, and host lifecycle (crash/rejoin/policy-rebuild) events.
 	KindRolloutStage    Kind = "rollout.stage"
 	KindRolloutTrip     Kind = "rollout.guardrail-trip"
+	KindRolloutDrop     Kind = "rollout.candidate-drop"
+	KindRolloutPromote  Kind = "rollout.promote"
 	KindRolloutRollback Kind = "rollout.rollback"
 	KindRolloutComplete Kind = "rollout.complete"
-	KindRolloutPush     Kind = "rollout.config-push"
+	KindRolloutPush     Kind = "rollout.policy-push"
 	KindHostCrash       Kind = "rollout.host-crash"
 	KindHostRejoin      Kind = "rollout.host-rejoin"
+	KindHostRebuild     Kind = "rollout.host-rebuild"
 )
 
 // Event is one recorded decision.
