@@ -6,7 +6,8 @@
 // Usage:
 //
 //	fleetsim [-mode zswap] [-warm 40m] [-measure 10m] [-scale 0.5] [-seed 7]
-//	         [-replicas 3] [-ratio-mult 8] [-json]
+//	         [-replicas 3] [-ratio-mult 8] [-json] [-tsdb-out series.jsonl]
+//	         [-dashboard]
 //
 // -ratio-mult scales Senpai's reclaim ratio so runs converge within the
 // given warm-up (the production ratio of 0.0005 sheds only ~0.5%/min; pass
@@ -23,7 +24,10 @@ import (
 	"tmo/cmd/internal/cliutil"
 	"tmo/internal/fleet"
 	"tmo/internal/senpai"
+	"tmo/internal/telemetry"
 	"tmo/internal/textplot"
+	"tmo/internal/tsdb"
+	"tmo/internal/vclock"
 )
 
 // appReport is one application class's measurement in the -json report.
@@ -63,6 +67,8 @@ func main() {
 	replicas := flag.Int("replicas", 1, "independent servers per class (adds P50/P90 columns)")
 	ratioMult := flag.Float64("ratio-mult", 8, "multiplier on Senpai's reclaim ratio (1 = production)")
 	jsonOut := flag.Bool("json", false, "emit per-app and aggregate savings as JSON instead of tables")
+	tsdbOut := flag.String("tsdb-out", "", "scrape each server's telemetry into a time-series file (.csv for CSV, else JSON Lines)")
+	dashboard := flag.Bool("dashboard", false, "print a summary table of the scraped series")
 	flag.Parse()
 
 	mode := cliutil.MustMode("fleetsim", *modeStr)
@@ -93,7 +99,27 @@ func main() {
 			specs = append(specs, rs)
 		}
 	}
-	ms := fleet.MeasureAll(specs, warm, measure)
+	// With observability on, scrape every server's registry as its
+	// measurement completes on the worker pool; series identities come from
+	// the spec, so the store's contents are deterministic either way.
+	var db *tsdb.DB
+	obs := fleet.Observer(nil)
+	if *tsdbOut != "" || *dashboard {
+		db = tsdb.New(tsdb.Config{})
+		sc := &tsdb.Scraper{DB: db}
+		end := vclock.Time(0).Add(warm + measure)
+		obs = func(i int, m fleet.Measurement, snap telemetry.Snapshot) {
+			sc.ScrapeSnapshot(end, []telemetry.Label{
+				{Key: "host", Value: fmt.Sprintf("host-%d", i)},
+				{Key: "app", Value: m.Spec.App},
+				{Key: "device", Value: m.Spec.DeviceClass()},
+			}, snap)
+		}
+	}
+	ms := fleet.MeasureAllWith(specs, warm, measure, obs)
+	if *tsdbOut != "" {
+		cliutil.MustExportSeries("fleetsim", *tsdbOut, db)
+	}
 	dc, micro := fleet.WeightedTaxSavings(ms)
 	appSavings := fleet.WeightedAppSavings(ms)
 
@@ -146,6 +172,9 @@ func main() {
 	fmt.Printf("\nweighted application savings: %.1f%% of resident memory\n", 100*appSavings)
 	fmt.Printf("weighted tax savings: datacenter %.1f%% + microservice %.1f%% = %.1f%% of server memory\n",
 		100*dc, 100*micro, 100*(dc+micro))
+	if *dashboard {
+		fmt.Printf("\nscraped series:\n%s", tsdb.Summary(db))
+	}
 }
 
 // telemetryTable renders the per-server pressure/latency view pulled from

@@ -1,0 +1,71 @@
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tmo/internal/tsdb"
+)
+
+// ExportSeries writes the time-series store to path, picking the format
+// from the extension: ".csv" gets the flat CSV table, anything else the
+// JSON Lines export. Both are deterministic for a deterministic store.
+func ExportSeries(path string, db *tsdb.DB) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.EqualFold(filepath.Ext(path), ".csv") {
+		err = db.WriteCSV(f)
+	} else {
+		err = db.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// MustExportSeries is ExportSeries with command-line fatal semantics.
+func MustExportSeries(tool, path string, db *tsdb.DB) {
+	if err := ExportSeries(path, db); err != nil {
+		Fatal(tool, fmt.Errorf("tsdb export: %w", err))
+	}
+}
+
+// WriteFlightBundles drops each flight-recorder bundle into dir under its
+// deterministic filename, creating dir as needed, and returns the paths.
+func WriteFlightBundles(dir string, bundles []tsdb.FlightBundle) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for i := range bundles {
+		p := filepath.Join(dir, bundles[i].Filename())
+		f, err := os.Create(p)
+		if err != nil {
+			return paths, err
+		}
+		err = bundles[i].WriteJSONL(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return paths, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}
+
+// MustWriteFlightBundles is WriteFlightBundles with command-line fatal
+// semantics; it reports how many bundles landed.
+func MustWriteFlightBundles(tool, dir string, bundles []tsdb.FlightBundle) []string {
+	paths, err := WriteFlightBundles(dir, bundles)
+	if err != nil {
+		Fatal(tool, fmt.Errorf("flight bundles: %w", err))
+	}
+	return paths
+}

@@ -1,0 +1,73 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tmo/internal/tsdb"
+	"tmo/internal/vclock"
+)
+
+func obsDB() *tsdb.DB {
+	db := tsdb.New(tsdb.Config{})
+	for i := 0; i < 3; i++ {
+		db.Append(vclock.Time(i)*vclock.Time(vclock.Second), "psi", nil, float64(i)/100)
+	}
+	return db
+}
+
+func TestExportSeriesFormatByExtension(t *testing.T) {
+	dir := t.TempDir()
+	db := obsDB()
+
+	jp := filepath.Join(dir, "series.jsonl")
+	if err := ExportSeries(jp, db); err != nil {
+		t.Fatal(err)
+	}
+	jb, _ := os.ReadFile(jp)
+	if !strings.Contains(string(jb), `"metric":"psi"`) {
+		t.Fatalf("jsonl export: %s", jb)
+	}
+
+	cp := filepath.Join(dir, "series.CSV") // extension match is case-blind
+	if err := ExportSeries(cp, db); err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := os.ReadFile(cp)
+	if !strings.HasPrefix(string(cb), "metric,labels,t_us,value\n") {
+		t.Fatalf("csv export: %s", cb)
+	}
+
+	if err := ExportSeries(filepath.Join(dir, "no/such/dir/x.jsonl"), db); err == nil {
+		t.Fatalf("unwritable path accepted")
+	}
+}
+
+func TestWriteFlightBundles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "flights") // created on demand
+	bundles := []tsdb.FlightBundle{
+		{Host: "host-1/web", Reason: "crash", Window: 3},
+		{Host: "host-2/feed", Reason: "guardrail-psi", Window: 7},
+	}
+	paths, err := WriteFlightBundles(dir, bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for i, p := range paths {
+		if filepath.Base(p) != bundles[i].Filename() {
+			t.Fatalf("path %q, want filename %q", p, bundles[i].Filename())
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(b), `"line":"header"`) {
+			t.Fatalf("bundle %s malformed: %s", p, b)
+		}
+	}
+}

@@ -16,13 +16,19 @@
 //	           [-warm 4] [-bake 4] [-plan canary=0.1,stage-2=0.5,fleet=1]
 //	           [-candidates 1] [-ratio-mult 10] [-aggressive]
 //	           [-devices C,F] [-guardrail F:psi=0.0002] [-crash 3@5m+2m]
-//	           [-seed 42] [-events] [-json]
+//	           [-seed 42] [-events] [-json] [-tsdb-out series.jsonl]
+//	           [-flight-dir flights/] [-dashboard]
 //
 // The baseline policy leaves offloading idle, so per-stage savings measure
 // each candidate against untouched control hosts. -aggressive turns the
 // last candidate deliberately unsafe (the paper's Config B shape, probing
 // harder than its probe cap) to demonstrate a guardrail trip.
 // -crash host@at+dur schedules host churn; the flag repeats.
+//
+// Observability: -tsdb-out exports the run's labeled time-series (host
+// vitals, cohort aggregates, controller telemetry); -flight-dir drops a
+// flight-recorder bundle per trip/crash/OOM post-mortem; -dashboard renders
+// per-cohort sparklines of pressure, throughput, and savings over the run.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"tmo/internal/fleet"
 	"tmo/internal/rollout"
 	"tmo/internal/senpai"
+	"tmo/internal/tsdb"
 	"tmo/internal/vclock"
 )
 
@@ -111,6 +118,9 @@ func main() {
 	seed := flag.Uint64("seed", 42, "rollout seed")
 	events := flag.Bool("events", false, "print the full rollout event log")
 	jsonOut := flag.Bool("json", false, "emit the scorecard as JSON instead of tables")
+	tsdbOut := flag.String("tsdb-out", "", "write the observability time-series to this file (.csv for CSV, else JSON Lines)")
+	flightDir := flag.String("flight-dir", "", "write flight-recorder bundles (one per trip/crash/OOM post-mortem) into this directory")
+	dashboard := flag.Bool("dashboard", false, "render per-cohort sparklines of pressure, throughput, and savings over the stages")
 	var crashes crashFlags
 	flag.Var(&crashes, "crash", "schedule host churn as host@at+dur (repeatable), e.g. 3@5m+2m")
 	var guardrails guardrailFlags
@@ -179,6 +189,14 @@ func main() {
 		cfg.Guardrails = *guardrails.fleet
 	}
 
+	// Any observability output wants the plane attached; the dashboard and
+	// flight bundles work off an in-memory store even without -tsdb-out.
+	var db *tsdb.DB
+	if *tsdbOut != "" || *flightDir != "" || *dashboard {
+		db = tsdb.New(tsdb.Config{})
+		cfg.Obs = &rollout.ObsConfig{DB: db, ScrapeHosts: true}
+	}
+
 	if !*jsonOut {
 		fmt.Printf("rolloutsim: %d hosts on %s, window %s, plan", *hosts, mode, window)
 		for _, st := range plan {
@@ -193,11 +211,29 @@ func main() {
 
 	r := rollout.New(cfg).Run()
 
+	if *tsdbOut != "" {
+		cliutil.MustExportSeries("rolloutsim", *tsdbOut, db)
+	}
+	if *flightDir != "" {
+		paths := cliutil.MustWriteFlightBundles("rolloutsim", *flightDir, r.Flights)
+		if !*jsonOut {
+			fmt.Printf("wrote %d flight bundle(s) to %s\n", len(paths), *flightDir)
+		}
+	}
+
 	if *jsonOut {
 		cliutil.EmitJSON("rolloutsim", r)
 		return
 	}
 	fmt.Println(r.Render())
+	if *dashboard {
+		fmt.Println("cohort dashboard (per candidate/stage):")
+		fmt.Print(tsdb.Dashboard(db, []string{
+			"rollout.cohort.mem_pressure",
+			"rollout.cohort.rps_ratio",
+			"rollout.cohort.savings_frac",
+		}, 64, 8))
+	}
 	if *events {
 		fmt.Printf("\nrollout event log:\n%s", r.EventLog())
 	}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	tmosim -app web -mode zswap -duration 30m [-capacity 256] [-device C]
-//	       [-report 1m] [-tax] [-seed 1] [-controls]
+//	       [-report 1m] [-tax] [-seed 1] [-controls] [-tsdb-out series.jsonl]
 //
 // -mode is one of off, file-only, zswap, ssd. -capacity is host DRAM in
 // MiB (default: 2x the app footprint). -controls dumps the workload
@@ -25,6 +25,8 @@ import (
 	"tmo/internal/cgroup"
 	"tmo/internal/core"
 	"tmo/internal/psi"
+	"tmo/internal/telemetry"
+	"tmo/internal/tsdb"
 	"tmo/internal/vclock"
 	"tmo/internal/workload"
 )
@@ -45,6 +47,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the simulation to this file")
 	metricsOut := flag.String("metrics-out", "", "write the telemetry registry to this file in Prometheus text format")
+	tsdbOut := flag.String("tsdb-out", "", "scrape telemetry each report interval into a time-series file (.csv for CSV, else JSON Lines)")
 	traceOut := flag.String("trace-out", "", "write the decision-span timeline to this file in Chrome trace_event JSON (open in chrome://tracing or Perfetto)")
 	timelineOut := flag.String("timeline-out", "", "write the decision-span timeline to this file as JSON Lines")
 	flag.Parse()
@@ -104,12 +107,27 @@ func main() {
 		}
 	}
 
+	// -tsdb-out turns the report loop into a scrape loop: the same scraper
+	// the rollout controller runs against fleet hosts samples this host's
+	// registry once per report interval.
+	var scraper *tsdb.Scraper
+	scrapeBase := []telemetry.Label{
+		{Key: "host", Value: prof.Name},
+		{Key: "device", Value: *device},
+	}
+	if *tsdbOut != "" {
+		scraper = &tsdb.Scraper{DB: tsdb.New(tsdb.Config{})}
+	}
+
 	var lastCompleted, lastSwapIns int64
 	var lastMem, lastIO vclock.Duration
 	step := report
 	for elapsed := vclock.Duration(0); elapsed < dur; elapsed += step {
 		sys.Run(step)
 		now := sys.Server.Now()
+		if scraper != nil {
+			scraper.ScrapeSnapshot(now, scrapeBase, sys.TelemetrySnapshot())
+		}
 		m := sys.Metrics()
 		tr := app.Group.PSI()
 		tr.Sync(now)
@@ -169,6 +187,13 @@ func main() {
 	if *metricsOut != "" {
 		writeFile(*metricsOut, sys.TelemetrySnapshot().WritePrometheus)
 		fmt.Printf("\nwrote metrics to %s\n", *metricsOut)
+	}
+	if scraper != nil {
+		if err := cliutil.ExportSeries(*tsdbOut, scraper.DB); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d time series (%d samples) to %s\n",
+			scraper.DB.NumSeries(), scraper.DB.NumSamples(), *tsdbOut)
 	}
 	if *traceOut != "" {
 		writeFile(*traceOut, sys.Tracer.WriteChromeTrace)

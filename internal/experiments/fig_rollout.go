@@ -9,6 +9,8 @@ import (
 	"tmo/internal/fleet"
 	"tmo/internal/rollout"
 	"tmo/internal/senpai"
+	"tmo/internal/trace"
+	"tmo/internal/tsdb"
 	"tmo/internal/vclock"
 )
 
@@ -19,6 +21,12 @@ type RolloutResult struct {
 	// Aggressive is the Config-B-shaped candidate's rollout; it must roll
 	// back at the canary stage on the PSI guardrail.
 	Aggressive rollout.Result
+	// BurnAlerts counts SLO burn-rate alerts the observability plane raised
+	// during the aggressive run before (or as) the guardrail tripped.
+	BurnAlerts int
+	// FlightBundles counts the post-mortem bundles the flight recorder
+	// dumped for the aggressive run's tripped cohort.
+	FlightBundles int
 }
 
 // rolloutConfigs builds the scorecard's two control-plane configurations.
@@ -113,12 +121,23 @@ func rolloutConfigs(c Config) (safe, aggressive rollout.Config) {
 // production-shaped one that must reach 100%, and a Config-B-shaped one
 // that must trip the PSI guardrail in canary and roll back before touching
 // the wider fleet.
+// The aggressive run carries the observability plane so the scorecard can
+// also report the forensics side of the story: the SLO burn monitors firing
+// ahead of the verdict and the flight recorder shipping post-mortems.
 func RolloutScorecard(c Config) RolloutResult {
 	safe, aggr := rolloutConfigs(c)
-	return RolloutResult{
+	aggr.Obs = &rollout.ObsConfig{DB: tsdb.New(tsdb.Config{})}
+	r := RolloutResult{
 		Safe:       rollout.New(safe).Run(),
 		Aggressive: rollout.New(aggr).Run(),
 	}
+	for _, e := range r.Aggressive.Events {
+		if e.Kind == trace.KindSLOBurn {
+			r.BurnAlerts++
+		}
+	}
+	r.FlightBundles = len(r.Aggressive.Flights)
+	return r
 }
 
 // Render reports both rollouts with their stage tables.
@@ -129,6 +148,8 @@ func (r RolloutResult) Render() string {
 	b.WriteString(indent(r.Safe.Render()))
 	fmt.Fprintf(&b, "\naggressive candidate (Config B shape): %s\n", verdictLine(r.Aggressive))
 	b.WriteString(indent(r.Aggressive.Render()))
+	fmt.Fprintf(&b, "\nobservability: %d SLO burn alert(s) raised, %d flight bundle(s) dumped for the post-mortem\n",
+		r.BurnAlerts, r.FlightBundles)
 	return b.String()
 }
 

@@ -68,6 +68,19 @@ func TestRolloutRegression(t *testing.T) {
 		t.Fatalf("render lacks guardrail verdict:\n%s", r.Render())
 	}
 
+	// The observability plane rode along on the aggressive run: the burn
+	// monitors raised at least one early warning and the flight recorder
+	// shipped a post-mortem for the tripped cohort.
+	if r.BurnAlerts == 0 {
+		t.Errorf("aggressive rollout raised no SLO burn alerts; log:\n%s", r.Aggressive.EventLog())
+	}
+	if r.FlightBundles == 0 {
+		t.Errorf("aggressive rollout dumped no flight bundles")
+	}
+	if !strings.Contains(r.Render(), "flight bundle") {
+		t.Fatalf("render lacks observability line:\n%s", r.Render())
+	}
+
 	// Same seed, same fleet, same churn — the rollout logs must be
 	// byte-identical across runs.
 	again := RolloutScorecard(cfg)

@@ -256,6 +256,13 @@ func (m Measurement) TaxSavingsOfTotal() float64 {
 // concurrently; results are deterministic because each server has its own
 // seeded streams.
 func Measure(spec Spec, warm, measure vclock.Duration) Measurement {
+	m, _ := measureWithSnap(spec, warm, measure)
+	return m
+}
+
+// measureWithSnap is Measure plus the TMO run's final telemetry snapshot,
+// which MeasureAllWith hands to its observer for TSDB scraping.
+func measureWithSnap(spec Spec, warm, measure vclock.Duration) (Measurement, telemetry.Snapshot) {
 	spec = spec.normalize()
 	var base, tmo runStats
 	var wg sync.WaitGroup
@@ -298,7 +305,7 @@ func Measure(spec Spec, warm, measure vclock.Duration) Measurement {
 	if base.completed > 0 {
 		m.RPSRatio = float64(tmo.completed) / float64(base.completed)
 	}
-	return m
+	return m, tmo.snap
 }
 
 // measureWorkers bounds MeasureAll's pool; each measurement already runs
@@ -310,6 +317,18 @@ const measureWorkers = 4
 // seeded, and results are written by index, so the output is identical to
 // calling Measure sequentially.
 func MeasureAll(specs []Spec, warm, measure vclock.Duration) []Measurement {
+	return MeasureAllWith(specs, warm, measure, nil)
+}
+
+// Observer receives each spec's measurement and the TMO run's final
+// telemetry snapshot as it completes. It is invoked from MeasureAllWith's
+// worker goroutines — possibly several at once — so an observer must be
+// safe for concurrent use (the tsdb scraper is).
+type Observer func(i int, m Measurement, snap telemetry.Snapshot)
+
+// MeasureAllWith is MeasureAll with an optional concurrent observer, the
+// hook the observability plane scrapes fleet sweeps through.
+func MeasureAllWith(specs []Spec, warm, measure vclock.Duration, obs Observer) []Measurement {
 	out := make([]Measurement, len(specs))
 	workers := runtime.NumCPU()
 	if workers > measureWorkers {
@@ -328,7 +347,11 @@ func MeasureAll(specs []Spec, warm, measure vclock.Duration) []Measurement {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = Measure(specs[i], warm, measure)
+				m, snap := measureWithSnap(specs[i], warm, measure)
+				out[i] = m
+				if obs != nil {
+					obs(i, m, snap)
+				}
 			}
 		}()
 	}

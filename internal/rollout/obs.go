@@ -1,0 +1,267 @@
+package rollout
+
+import (
+	"fmt"
+	"strconv"
+
+	"tmo/internal/slo"
+	"tmo/internal/telemetry"
+	"tmo/internal/trace"
+	"tmo/internal/tsdb"
+)
+
+// ObsConfig attaches the observability plane to a rollout: at every window
+// barrier the controller writes per-host vital signs and per-cohort
+// aggregates into the DB, evaluates SLO burn-rate monitors over them, feeds
+// every host's flight recorder, and cuts a flight bundle whenever a host's
+// cohort trips a guardrail, the host OOMs, or it crashes. All of it runs on
+// the single-threaded barrier path, so the exports inherit the event log's
+// byte-identity guarantee.
+type ObsConfig struct {
+	// DB is the sink; a nil DB disables the whole plane.
+	DB *tsdb.DB
+	// ScrapeHosts additionally snapshots every host's full telemetry
+	// registry into the DB each barrier (filtered by HostFilter).
+	ScrapeHosts bool
+	// HostFilter keeps only host-registry metrics whose name it accepts;
+	// nil uses a curated vital-signs allowlist.
+	HostFilter func(name string) bool
+	// Quantiles overrides the scraper's histogram quantiles.
+	Quantiles []float64
+	// FlightWindows is each host's flight-recorder ring capacity in
+	// barrier windows; default 32.
+	FlightWindows int
+	// FlightEvents bounds the decision-log tail attached to each flight
+	// bundle; default 64.
+	FlightEvents int
+	// FaultP99BudgetUs is the fault-latency p99 budget for the default
+	// burn monitor; 0 picks 50ms, negative disables the monitor.
+	FaultP99BudgetUs float64
+	// Monitors are appended to the guardrail-derived default monitors.
+	Monitors []slo.Monitor
+	// NoDefaultMonitors drops the guardrail-derived defaults.
+	NoDefaultMonitors bool
+}
+
+// defaultHostMetrics is the vital-signs allowlist a host-registry scrape
+// keeps when no HostFilter is given: the PSI integrals, memory occupancy,
+// swap fill, and fault behaviour the paper's dashboards watch.
+var defaultHostMetrics = map[string]bool{
+	"psi.memory.some_total_us": true,
+	"psi.memory.full_total_us": true,
+	"psi.io.some_total_us":     true,
+	"host.resident_bytes":      true,
+	"host.pool_bytes":          true,
+	"host.free_bytes":          true,
+	"swap.stored_bytes":        true,
+	"mm.refaults":              true,
+	"mm.fault_latency_us":      true,
+}
+
+// obsState is the controller's live observability plane.
+type obsState struct {
+	cfg     ObsConfig
+	scraper *tsdb.Scraper
+	eval    *slo.Evaluator
+	fr      []*tsdb.FlightRecorder // by host index
+	// oomDumped tracks the incarnation whose OOM already cut a bundle, so
+	// a host grinding through OOM kills ships one post-mortem per life.
+	oomDumped []int
+}
+
+// newObsState wires the plane for a normalized config; nil when disabled.
+func newObsState(cfg Config, reg *telemetry.Registry) *obsState {
+	if cfg.Obs == nil || cfg.Obs.DB == nil {
+		return nil
+	}
+	o := *cfg.Obs
+	if o.FlightWindows <= 0 {
+		o.FlightWindows = 32
+	}
+	if o.FlightEvents <= 0 {
+		o.FlightEvents = 64
+	}
+	if o.FaultP99BudgetUs == 0 {
+		o.FaultP99BudgetUs = 50_000
+	}
+	if o.HostFilter == nil {
+		o.HostFilter = func(name string) bool { return defaultHostMetrics[name] }
+	}
+
+	monitors := o.Monitors
+	if !o.NoDefaultMonitors {
+		monitors = append(defaultMonitors(cfg, o), monitors...)
+	}
+	st := &obsState{
+		cfg:       o,
+		scraper:   &tsdb.Scraper{DB: o.DB, Quantiles: o.Quantiles, Filter: o.HostFilter},
+		eval:      &slo.Evaluator{DB: o.DB, Monitors: monitors, Telemetry: reg},
+		fr:        make([]*tsdb.FlightRecorder, len(cfg.Hosts)),
+		oomDumped: make([]int, len(cfg.Hosts)),
+	}
+	for i := range st.fr {
+		st.fr[i] = tsdb.NewFlightRecorder(o.FlightWindows)
+		st.oomDumped[i] = -1
+	}
+	return st
+}
+
+// defaultMonitors derives burn monitors from the fleet-wide guardrails, so
+// the early-warning thresholds and the barrier verdicts share one budget:
+// PSI overshoot and the RPS dip against the control cohort on the cohort
+// aggregates, fault p99 and swap-exhaustion slope on the per-host series.
+func defaultMonitors(cfg Config, o ObsConfig) []slo.Monitor {
+	g := cfg.Guardrails
+	var ms []slo.Monitor
+	if g.MaxMemPressure > 0 {
+		ms = append(ms, slo.Monitor{
+			Name: "psi-burn", Metric: "rollout.cohort.mem_pressure",
+			Kind: slo.Upper, Budget: g.MaxMemPressure,
+		})
+	}
+	if g.MaxRPSDip > 0 {
+		ms = append(ms, slo.Monitor{
+			Name: "rps-burn", Metric: "rollout.cohort.rps_ratio",
+			Kind: slo.Lower, Budget: 1 - g.MaxRPSDip,
+		})
+	}
+	if o.FaultP99BudgetUs > 0 {
+		ms = append(ms, slo.Monitor{
+			Name: "fault-p99-burn", Metric: "rollout.host.fault_p99_us",
+			Kind: slo.Upper, Budget: o.FaultP99BudgetUs,
+		})
+	}
+	if g.SwapUtilizationLatch > 0 {
+		ms = append(ms, slo.Monitor{
+			Name: "swap-slope", Metric: "rollout.host.swap_util",
+			Kind: slo.Slope, Budget: g.SwapUtilizationLatch,
+			Horizon: 8 * cfg.Window,
+		})
+	}
+	return ms
+}
+
+// stageLabel names the rollout phase for series labels.
+func (c *Controller) stageLabel() string {
+	switch c.state {
+	case StateStaging:
+		return c.cfg.Plan[c.stageIdx].Name
+	case StateWarming:
+		return "warm"
+	default:
+		return "settle"
+	}
+}
+
+// observe runs the observability plane at a barrier: per-host vitals into
+// the DB and the flight recorders, per-cohort aggregates (when staging),
+// the controller's own registry, then the SLO monitors. Hosts are visited
+// in index order and candidates/devices in fixed order, keeping the DB's
+// append order — and therefore its export — deterministic.
+func (c *Controller) observe(cws []candWindow) {
+	if c.obs == nil {
+		return
+	}
+	o := c.obs
+	stage := c.stageLabel()
+
+	for _, h := range c.hosts {
+		if h.down {
+			continue
+		}
+		snap := h.sys.TelemetrySnapshot()
+		vitals := map[string]float64{
+			"pressure":       h.winPressure,
+			"rps":            h.winRPS,
+			"resident_bytes": h.resident,
+			"ooms":           float64(h.winOOMs),
+		}
+		if h.swapCap > 0 {
+			if sw := h.sys.Server.Swap(); sw != nil {
+				vitals["swap_util"] = float64(sw.Stats().StoredBytes) / float64(h.swapCap)
+			}
+		}
+		if fl, ok := snap.Get("mm.fault_latency_us"); ok {
+			vitals["fault_p99_us"] = fl.Quantile(0.99)
+		}
+
+		labels := []telemetry.Label{
+			{Key: "host", Value: fmt.Sprintf("host-%d", h.index)},
+			{Key: "app", Value: h.spec.App},
+			{Key: "device", Value: h.device},
+			{Key: "candidate", Value: c.policyFor(h).Name},
+			{Key: "stage", Value: stage},
+			{Key: "incarnation", Value: strconv.Itoa(h.incarnation)},
+		}
+		for _, name := range hostVitalOrder {
+			if v, ok := vitals[name]; ok {
+				o.cfg.DB.Append(c.now, "rollout.host."+name, labels, v)
+			}
+		}
+		if o.cfg.ScrapeHosts {
+			o.scraper.ScrapeSnapshot(c.now, labels, snap)
+		}
+
+		o.fr[h.index].Record(tsdb.FlightSample{T: c.now, Window: c.window, Values: vitals})
+		if h.winOOMs > 0 && o.oomDumped[h.index] != h.incarnation {
+			o.oomDumped[h.index] = h.incarnation
+			c.dumpFlight(h, "oom")
+		}
+	}
+
+	for k := range cws {
+		cw := &cws[k]
+		if cw.hosts == 0 {
+			continue
+		}
+		cl := []telemetry.Label{
+			{Key: "candidate", Value: c.cands[k].pol.Name},
+			{Key: "stage", Value: stage},
+		}
+		o.cfg.DB.Append(c.now, "rollout.cohort.mem_pressure", cl, cw.pressure)
+		o.cfg.DB.Append(c.now, "rollout.cohort.rps_ratio", cl, cw.rpsRatio)
+		o.cfg.DB.Append(c.now, "rollout.cohort.savings_frac", cl, cw.savings)
+		o.cfg.DB.Append(c.now, "rollout.cohort.hosts", cl, float64(cw.hosts))
+		for _, d := range c.fleetDevices {
+			dw := cw.dev[d]
+			if dw == nil || dw.hosts == 0 {
+				continue
+			}
+			dl := append(append([]telemetry.Label(nil), cl...),
+				telemetry.Label{Key: "device", Value: d})
+			o.cfg.DB.Append(c.now, "rollout.cohort.mem_pressure", dl, dw.pressure)
+			o.cfg.DB.Append(c.now, "rollout.cohort.rps_ratio", dl, dw.rpsRatio)
+		}
+	}
+
+	o.scraper.Scrape(c.now, []telemetry.Label{{Key: "host", Value: "controller"}}, c.reg)
+
+	for _, a := range o.eval.Eval(c.now) {
+		c.record(trace.KindSLOBurn, a.Monitor, "%s: %s", a.Series, a.Detail())
+	}
+}
+
+// hostVitalOrder fixes the per-host series append order.
+var hostVitalOrder = []string{
+	"pressure", "rps", "resident_bytes", "ooms", "swap_util", "fault_p99_us",
+}
+
+// dumpFlight cuts one host's flight bundle: the recorder ring plus the tail
+// of the decision log around the trigger.
+func (c *Controller) dumpFlight(h *host, reason string) {
+	if c.obs == nil {
+		return
+	}
+	b := tsdb.FlightBundle{
+		Host:        c.hostName(h),
+		Reason:      reason,
+		T:           c.now,
+		Window:      c.window,
+		Incarnation: h.incarnation,
+		Samples:     c.obs.fr[h.index].Samples(),
+		Events:      tsdb.FlightEventsFromTrace(c.events, c.obs.cfg.FlightEvents),
+	}
+	c.flights = append(c.flights, b)
+	c.record(trace.KindFlightDump, c.hostName(h), "%s: %d samples, %d events",
+		reason, len(b.Samples), len(b.Events))
+}

@@ -1,0 +1,230 @@
+package rollout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tmo/internal/chaos"
+	"tmo/internal/telemetry"
+	"tmo/internal/trace"
+	"tmo/internal/tsdb"
+	"tmo/internal/vclock"
+)
+
+// obsConfig attaches a fresh observability plane to a rollout config.
+func obsConfig(cfg Config) (Config, *tsdb.DB) {
+	db := tsdb.New(tsdb.Config{})
+	cfg.Obs = &ObsConfig{DB: db, ScrapeHosts: true}
+	return cfg, db
+}
+
+// exportAll renders everything the plane produced — the TSDB export plus
+// every flight bundle — as one byte string for identity comparison.
+func exportAll(t *testing.T, db *tsdb.DB, r Result) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := db.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, fb := range r.Flights {
+		b.WriteString("== " + fb.Filename() + "\n")
+		if err := fb.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+// TestForensicsLoop pins the acceptance scenario: an aggressive policy that
+// trips the PSI guardrail at canary must ship a flight bundle whose samples
+// show the pressure overshoot building before the trip, and the SLO burn
+// monitor must fire at least one window before the barrier verdict.
+func TestForensicsLoop(t *testing.T) {
+	cfg, db := obsConfig(testConfig(aggressivePolicy()))
+	// Pressure under the aggressive candidate ramps across canary windows
+	// (~0.010, ~0.014, ~0.021). A budget of 0.013 puts the crossing inside
+	// the ramp: the burn monitor judges window means and fires at window 2,
+	// while the guardrail judges the stage-cumulative mean and only trips
+	// at window 3 — the early warning the plane exists to provide.
+	cfg.Guardrails.MaxMemPressure = 0.013
+	c := New(cfg)
+	r := c.Run()
+	if !r.RolledBack() || r.TrippedGuardrail != "psi" {
+		t.Fatalf("state=%s tripped=%q, want psi rollback; log:\n%s",
+			r.State, r.TrippedGuardrail, r.EventLog())
+	}
+
+	// The early warning precedes the verdict by at least one window.
+	var alertT, tripT vclock.Time = -1, -1
+	for _, e := range r.Events {
+		if e.Kind == trace.KindSLOBurn && alertT < 0 && e.Subject == "psi-burn" {
+			alertT = e.Time
+		}
+		if e.Kind == trace.KindRolloutTrip && tripT < 0 {
+			tripT = e.Time
+		}
+	}
+	if alertT < 0 || tripT < 0 {
+		t.Fatalf("missing slo alert (%v) or trip (%v) in log:\n%s", alertT, tripT, r.EventLog())
+	}
+	if alertT > tripT.Add(-cfg.Window) {
+		t.Fatalf("slo alert at %s did not lead trip at %s by a window; log:\n%s",
+			alertT, tripT, r.EventLog())
+	}
+	if c.Telemetry().Counter("slo.burn_alerts",
+		telemetry.Label{Key: "monitor", Value: "psi-burn"}).Value() == 0 {
+		t.Fatalf("slo.burn_alerts counter not incremented")
+	}
+
+	// The tripped cohort shipped its post-mortem, and its samples visibly
+	// show the overshoot: pressure climbing through the guardrail budget
+	// before the dump instant.
+	var bundle *tsdb.FlightBundle
+	for i := range r.Flights {
+		if r.Flights[i].Reason == "guardrail-psi" {
+			bundle = &r.Flights[i]
+			break
+		}
+	}
+	if bundle == nil {
+		t.Fatalf("no guardrail-psi flight bundle; flights: %+v", r.Flights)
+	}
+	if len(bundle.Samples) < 2 {
+		t.Fatalf("bundle too thin: %+v", bundle.Samples)
+	}
+	budget := cfg.Guardrails.MaxMemPressure
+	last := bundle.Samples[len(bundle.Samples)-1]
+	first := bundle.Samples[0]
+	if last.Values["pressure"] <= budget {
+		t.Fatalf("final pre-trip pressure %v not over budget %v", last.Values["pressure"], budget)
+	}
+	if last.Values["pressure"] <= first.Values["pressure"] {
+		t.Fatalf("pressure did not build toward the trip: first %v last %v",
+			first.Values["pressure"], last.Values["pressure"])
+	}
+	// The bundle's event tail carries the early warning for the post-mortem.
+	sawAlert := false
+	for _, e := range bundle.Events {
+		if e.Kind == string(trace.KindSLOBurn) {
+			sawAlert = true
+		}
+	}
+	if !sawAlert {
+		t.Fatalf("bundle events lack the slo alert: %+v", bundle.Events)
+	}
+
+	// The cohort pressure series the monitor judged is in the store and
+	// crosses the budget before the trip.
+	sel := db.Select("rollout.cohort.mem_pressure",
+		telemetry.Label{Key: "candidate", Value: "candidate"},
+		telemetry.Label{Key: "stage", Value: "canary"})
+	if len(sel) == 0 {
+		t.Fatalf("cohort pressure series missing; metrics: %v", db.Metrics())
+	}
+	crossed := vclock.Time(-1)
+	for _, p := range sel[0].Points {
+		if p.V > budget {
+			crossed = p.T
+			break
+		}
+	}
+	if crossed < 0 || crossed > tripT {
+		t.Fatalf("cohort series crossing at %v vs trip at %v", crossed, tripT)
+	}
+
+	// Host scrapes landed too (ScrapeHosts).
+	if len(db.Select("host.resident_bytes")) == 0 {
+		t.Fatalf("host registry scrape missing; metrics: %v", db.Metrics())
+	}
+}
+
+// TestObsDeterministicUnderChurn extends the byte-identity pin to the
+// observability plane: two identical churned bandit runs must produce
+// byte-identical TSDB exports and flight-recorder dumps.
+func TestObsDeterministicUnderChurn(t *testing.T) {
+	build := func() (Config, *tsdb.DB) {
+		cfg := banditConfig()
+		cfg.Crashes = []Crash{{
+			Host:     4,
+			Schedule: chaos.Schedule{At: vclock.Time(4 * cfg.Window), Dur: 2 * cfg.Window},
+		}}
+		return obsConfig(cfg)
+	}
+	cfgA, dbA := build()
+	cfgB, dbB := build()
+	ra := New(cfgA).Run()
+	rb := New(cfgB).Run()
+	if ra.EventLog() != rb.EventLog() {
+		t.Fatalf("event logs differ:\n--- a ---\n%s\n--- b ---\n%s", ra.EventLog(), rb.EventLog())
+	}
+	ea, eb := exportAll(t, dbA, ra), exportAll(t, dbB, rb)
+	if ea != eb {
+		// Find the first divergence for a readable failure.
+		la, lb := strings.Split(ea, "\n"), strings.Split(eb, "\n")
+		for i := range la {
+			if i >= len(lb) || la[i] != lb[i] {
+				t.Fatalf("observability exports diverge at line %d:\na: %s\nb: %s", i, la[i], lb[i])
+			}
+		}
+		t.Fatalf("observability exports differ in length: %d vs %d lines", len(la), len(lb))
+	}
+	// Churn produced a crash post-mortem alongside the guardrail one, and
+	// the bundles carry distinct deterministic filenames.
+	reasons := map[string]bool{}
+	names := map[string]bool{}
+	for _, fb := range ra.Flights {
+		reasons[fb.Reason] = true
+		if names[fb.Filename()] {
+			t.Fatalf("duplicate bundle filename %q", fb.Filename())
+		}
+		names[fb.Filename()] = true
+	}
+	if !reasons["crash"] {
+		t.Fatalf("no crash bundle; reasons: %v", reasons)
+	}
+	var csvA bytes.Buffer
+	if err := dbA.WriteCSV(&csvA); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csvA.String(), "metric,labels,t_us,value\n") {
+		t.Fatalf("CSV export malformed")
+	}
+}
+
+// TestTraceCapacityConfigurable pins the satellite: a tiny ring still
+// counts every emission in Total() while retaining only its capacity.
+func TestTraceCapacityConfigurable(t *testing.T) {
+	cfg := testConfig(safePolicy())
+	cfg.TraceCapacity = 4
+	c := New(cfg)
+	r := c.Run()
+	if got, want := c.log.Total(), int64(len(r.Events)); got != want {
+		t.Fatalf("log.Total() = %d, want %d (every event counted past eviction)", got, want)
+	}
+	if got := len(c.log.Events()); got != 4 {
+		t.Fatalf("tiny ring retained %d events, want 4", got)
+	}
+	if int64(len(r.Events)) <= 4 {
+		t.Fatalf("run too quiet to exercise eviction: %d events", len(r.Events))
+	}
+	// Default stays 4096.
+	if got := testConfig(safePolicy()).normalize().TraceCapacity; got != 4096 {
+		t.Fatalf("default TraceCapacity = %d", got)
+	}
+}
+
+// TestGuardrailTripLabels pins the satellite: trip counters break down by
+// guardrail, candidate, and device.
+func TestGuardrailTripLabels(t *testing.T) {
+	c := New(testConfig(aggressivePolicy()))
+	c.Run()
+	snap := c.Telemetry().Snapshot()
+	m, ok := snap.Get("rollout.guardrail_trips",
+		telemetry.Label{Key: "guardrail", Value: "psi"},
+		telemetry.Label{Key: "candidate", Value: "candidate"},
+		telemetry.Label{Key: "device", Value: "C"})
+	if !ok || m.Value < 1 {
+		t.Fatalf("labeled trip counter missing; snapshot: %+v", snap.Metrics)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"tmo/internal/textplot"
 	"tmo/internal/trace"
+	"tmo/internal/tsdb"
 	"tmo/internal/vclock"
 )
 
@@ -106,6 +107,10 @@ type Result struct {
 	Hosts []HostReport
 	// Events is the deterministic rollout decision log.
 	Events []trace.Event
+	// Flights holds the flight-recorder bundles cut during the run
+	// (guardrail trips, OOMs, crashes), in dump order. Requires
+	// Config.Obs; empty otherwise.
+	Flights []tsdb.FlightBundle
 	// CanaryHosts is the size of the first-stage cohort.
 	CanaryHosts int
 	// Window is the barrier window length.

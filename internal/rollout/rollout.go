@@ -41,6 +41,7 @@ import (
 	"tmo/internal/psi"
 	"tmo/internal/telemetry"
 	"tmo/internal/trace"
+	"tmo/internal/tsdb"
 	"tmo/internal/vclock"
 	"tmo/internal/workload"
 )
@@ -114,6 +115,13 @@ type Config struct {
 	Seed uint64
 	// Crashes is the host-churn schedule.
 	Crashes []Crash
+	// TraceCapacity bounds the controller's ring decision log; default
+	// 4096. Long K-candidate races with churn can overflow the default
+	// and silently evict early events — size it to the run.
+	TraceCapacity int
+	// Obs attaches the observability plane (TSDB scraping, SLO burn
+	// monitors, flight recorders); nil runs without one.
+	Obs *ObsConfig
 }
 
 // normalize fills defaults and validates, panicking on unusable configs the
@@ -190,6 +198,9 @@ func (cfg Config) normalize() Config {
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
+	}
+	if cfg.TraceCapacity <= 0 {
+		cfg.TraceCapacity = 4096
 	}
 	for _, cr := range cfg.Crashes {
 		if cr.Host < 0 || cr.Host >= len(cfg.Hosts) {
@@ -415,6 +426,10 @@ type Controller struct {
 	events  []trace.Event
 	reports []StageReport
 
+	// Observability plane; nil when Config.Obs is unset.
+	obs     *obsState
+	flights []tsdb.FlightBundle
+
 	telAdvance, telRollback, telPush, telRebuild, telDrop, telPromote, telCrash, telRejoin *telemetry.Counter
 }
 
@@ -426,9 +441,10 @@ func New(cfg Config) *Controller {
 		cfg:    cfg,
 		winner: -1,
 		reg:    telemetry.NewRegistry(),
-		log:    trace.NewLog(4096),
+		log:    trace.NewLog(cfg.TraceCapacity),
 		rec:    trace.NewRecorder(1 << 14),
 	}
+	c.obs = newObsState(cfg, c.reg)
 	c.telAdvance = c.reg.Counter("rollout.stage_advances")
 	c.telRollback = c.reg.Counter("rollout.rollbacks")
 	c.telPush = c.reg.Counter("rollout.policy_pushes")
@@ -530,6 +546,10 @@ func (c *Controller) buildHost(h *host) {
 	h.swapCap = swapCapacity(sys)
 	h.lastMem, h.lastCompleted, h.lastOOMs = 0, 0, 0
 	h.upWindows = 0
+	if c.obs != nil {
+		// A fresh incarnation starts a fresh black box.
+		c.obs.fr[h.index].Reset()
+	}
 }
 
 // pushPolicy applies the host's entitled policy to a live host: a live
@@ -629,6 +649,7 @@ func (c *Controller) lifecycle() {
 			h.sys, h.app = nil, nil
 			c.telCrash.Inc()
 			c.record(trace.KindHostCrash, c.hostName(h), "incarnation %d down", h.incarnation)
+			c.dumpFlight(h, "crash")
 		case !h.wantDown && h.down:
 			h.down = false
 			h.incarnation++
@@ -878,13 +899,19 @@ func (c *Controller) windowStats() []candWindow {
 // barrier is the single-threaded decision point after every window. It
 // returns true when the rollout (including its settle tail) is over.
 func (c *Controller) barrier() bool {
+	var cws []candWindow
+	if c.state == StateStaging {
+		cws = c.windowStats()
+	}
+	// The observability plane sees the window before the verdict does, so
+	// a burn alert always precedes the guardrail trip it anticipates.
+	c.observe(cws)
 	switch c.state {
 	case StateWarming:
 		if c.window >= c.cfg.WarmWindows {
 			c.beginStage(0)
 		}
 	case StateStaging:
-		cws := c.windowStats()
 		c.fold(cws)
 		c.judge()
 		if c.aliveCount() == 0 {
@@ -974,13 +1001,19 @@ func (c *Controller) dropDevice(cand *candState, device, guardrail, detail strin
 	cand.excluded[device] = true
 	cand.tripped = guardrail
 	cand.detail = detail
-	c.reg.Counter("rollout.guardrail_trips", telemetry.Label{Key: "guardrail", Value: guardrail}).Inc()
+	c.reg.Counter("rollout.guardrail_trips",
+		telemetry.Label{Key: "guardrail", Value: guardrail},
+		telemetry.Label{Key: "candidate", Value: cand.pol.Name},
+		telemetry.Label{Key: "device", Value: device}).Inc()
 	c.record(trace.KindRolloutTrip, cand.pol.Name+"@"+device, "%s: %s", guardrail, detail)
-	restored := 0
+	var dropped []*host
 	for _, h := range c.hosts {
-		if h.assigned != cand.idx || h.device != device {
-			continue
+		if h.assigned == cand.idx && h.device == device {
+			dropped = append(dropped, h)
 		}
+	}
+	restored := 0
+	for _, h := range dropped {
 		h.assigned = -1
 		if !h.down {
 			c.pushPolicy(h)
@@ -989,6 +1022,13 @@ func (c *Controller) dropDevice(cand *candState, device, guardrail, detail strin
 	}
 	c.record(trace.KindRolloutDrop, cand.pol.Name+"@"+device,
 		"device cohort dropped, baseline restored on %d hosts", restored)
+	// Every host of the tripped cohort ships its post-mortem (crashed
+	// hosts dumped theirs when they went down).
+	for _, h := range dropped {
+		if !h.down {
+			c.dumpFlight(h, "guardrail-"+guardrail)
+		}
+	}
 }
 
 // dropCandidate takes a candidate out of the race everywhere.
@@ -1279,6 +1319,7 @@ func (c *Controller) result() Result {
 		TrippedGuardrail: c.tripped,
 		Stages:           c.reports,
 		Events:           c.events,
+		Flights:          c.flights,
 		CanaryHosts:      canary,
 		Window:           c.cfg.Window,
 		Duration:         vclock.Duration(c.now),

@@ -1,0 +1,150 @@
+package slo
+
+import (
+	"testing"
+
+	"tmo/internal/telemetry"
+	"tmo/internal/tsdb"
+	"tmo/internal/vclock"
+)
+
+const win = vclock.Time(30 * vclock.Second)
+
+// feed appends vals at consecutive windows starting at window start+1.
+func feed(db *tsdb.DB, metric string, labels []telemetry.Label, start int, vals ...float64) {
+	for i, v := range vals {
+		db.Append(vclock.Time(start+i+1)*win, metric, labels, v)
+	}
+}
+
+func TestUpperBurnRisingEdge(t *testing.T) {
+	db := tsdb.New(tsdb.Config{})
+	reg := telemetry.NewRegistry()
+	ev := &Evaluator{
+		DB:        db,
+		Monitors:  []Monitor{{Name: "psi-burn", Metric: "psi", Kind: Upper, Budget: 0.01, Fast: 1, Slow: 4}},
+		Telemetry: reg,
+	}
+
+	// Below budget: quiet.
+	feed(db, "psi", nil, 0, 0.001, 0.002, 0.002)
+	if got := ev.Eval(3 * win); len(got) != 0 {
+		t.Fatalf("alerts below budget: %+v", got)
+	}
+	// Overshoot: fast burn 1.5, slow mean well over half budget.
+	feed(db, "psi", nil, 3, 0.015)
+	got := ev.Eval(4 * win)
+	if len(got) != 1 {
+		t.Fatalf("alerts = %+v, want 1", got)
+	}
+	a := got[0]
+	if a.Monitor != "psi-burn" || a.Series != "psi" || a.Fast < 1.4 || a.Fast > 1.6 {
+		t.Fatalf("alert = %+v", a)
+	}
+	if a.Detail() == "" {
+		t.Fatalf("empty alert detail")
+	}
+	// Still burning: edge-triggered, no re-alert.
+	feed(db, "psi", nil, 4, 0.02)
+	if got := ev.Eval(5 * win); len(got) != 0 {
+		t.Fatalf("re-alert while burning: %+v", got)
+	}
+	// Recovers, then burns again: re-armed.
+	feed(db, "psi", nil, 5, 0.001, 0.001)
+	if got := ev.Eval(7 * win); len(got) != 0 {
+		t.Fatalf("alert during recovery: %+v", got)
+	}
+	feed(db, "psi", nil, 7, 0.03)
+	if got := ev.Eval(8 * win); len(got) != 1 {
+		t.Fatalf("no re-alert after recovery: %+v", got)
+	}
+	if c := reg.Counter("slo.burn_alerts", telemetry.Label{Key: "monitor", Value: "psi-burn"}).Value(); c != 2 {
+		t.Fatalf("alert counter = %d, want 2", c)
+	}
+}
+
+func TestSlowWindowDebounce(t *testing.T) {
+	db := tsdb.New(tsdb.Config{})
+	ev := &Evaluator{DB: db, Monitors: []Monitor{{
+		Name: "m", Metric: "psi", Kind: Upper, Budget: 0.01,
+		Fast: 1, Slow: 4, FastBurn: 1, SlowBurn: 0.9,
+	}}}
+	// One-window spike after a long quiet stretch: the slow window (mean
+	// ~0.3x budget) vetoes the alert.
+	feed(db, "psi", nil, 0, 0.001, 0.001, 0.001, 0.012)
+	if got := ev.Eval(4 * win); len(got) != 0 {
+		t.Fatalf("slow window failed to debounce: %+v", got)
+	}
+}
+
+func TestLowerBurnRPSDip(t *testing.T) {
+	db := tsdb.New(tsdb.Config{})
+	ev := &Evaluator{DB: db, Monitors: []Monitor{{
+		Name: "rps-burn", Metric: "rps_ratio", Kind: Lower, Budget: 0.75, Fast: 1, Slow: 2,
+	}}}
+	feed(db, "rps_ratio", nil, 0, 1.0, 0.98)
+	if got := ev.Eval(2 * win); len(got) != 0 {
+		t.Fatalf("healthy RPS alerted: %+v", got)
+	}
+	feed(db, "rps_ratio", nil, 2, 0.60) // dips through the budget
+	got := ev.Eval(3 * win)
+	if len(got) != 1 || got[0].Fast < 1.2 {
+		t.Fatalf("dip alert = %+v", got)
+	}
+
+	// Total outage must burn, not divide by zero.
+	feed(db, "rps_ratio", []telemetry.Label{{Key: "host", Value: "h1"}}, 3, 0, 0)
+	if got := ev.Eval(5 * win); len(got) != 1 {
+		t.Fatalf("outage alert = %+v", got)
+	}
+}
+
+func TestSlopeProjection(t *testing.T) {
+	db := tsdb.New(tsdb.Config{})
+	ev := &Evaluator{DB: db, Monitors: []Monitor{{
+		Name: "swap-slope", Metric: "swap_util", Kind: Slope, Budget: 0.95,
+		Fast: 2, Slow: 4, Horizon: vclock.Duration(12 * win),
+	}}}
+	// Flat and low: projection stays put, no alert.
+	feed(db, "swap_util", nil, 0, 0.30, 0.30, 0.30, 0.30)
+	if got := ev.Eval(4 * win); len(got) != 0 {
+		t.Fatalf("flat series alerted: %+v", got)
+	}
+	// Climbing ~5pp per window: projected 12 windows out crosses 0.95 long
+	// before the level itself does.
+	feed(db, "swap_util", nil, 4, 0.35, 0.40, 0.45, 0.50)
+	got := ev.Eval(8 * win)
+	if len(got) != 1 {
+		t.Fatalf("slope projection missed exhaustion: %+v", got)
+	}
+	if got[0].Fast < 1 {
+		t.Fatalf("burn = %v, want >= 1", got[0].Fast)
+	}
+}
+
+func TestDisabledAndShortSeries(t *testing.T) {
+	db := tsdb.New(tsdb.Config{})
+	ev := &Evaluator{DB: db, Monitors: []Monitor{
+		{Name: "off", Metric: "psi", Kind: Upper, Budget: 0}, // zero budget disables
+		{Name: "long", Metric: "psi", Kind: Upper, Budget: 0.01, Fast: 3},
+	}}
+	feed(db, "psi", nil, 0, 9.9) // one sample: shorter than Fast=3
+	if got := ev.Eval(win); len(got) != 0 {
+		t.Fatalf("disabled/short monitors alerted: %+v", got)
+	}
+}
+
+func TestMatchRestrictsSeries(t *testing.T) {
+	db := tsdb.New(tsdb.Config{})
+	canary := []telemetry.Label{{Key: "stage", Value: "canary"}}
+	fleetL := []telemetry.Label{{Key: "stage", Value: "fleet"}}
+	feed(db, "psi", canary, 0, 0.5, 0.5)
+	feed(db, "psi", fleetL, 0, 0.5, 0.5)
+	ev := &Evaluator{DB: db, Monitors: []Monitor{{
+		Name: "m", Metric: "psi", Match: canary, Kind: Upper, Budget: 0.01, Fast: 1,
+	}}}
+	got := ev.Eval(2 * win)
+	if len(got) != 1 || got[0].Series != `psi{stage="canary"}` {
+		t.Fatalf("match filter: %+v", got)
+	}
+}

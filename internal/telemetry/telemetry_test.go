@@ -125,6 +125,40 @@ func TestHistogramStats(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdges pins the contract the scraper and the burn
+// monitors lean on: empty histograms read zero everywhere, out-of-range
+// quantiles clamp to the exact min/max, and a single sample answers every
+// quantile with itself.
+func TestHistogramQuantileEdges(t *testing.T) {
+	var empty, one, many Histogram
+	one.Record(37)
+	for _, v := range []float64{5, 10, 15} {
+		many.Record(v)
+	}
+	cases := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want float64
+	}{
+		{"empty q0.5", &empty, 0.5, 0},
+		{"empty q0", &empty, 0, 0},
+		{"empty q1", &empty, 1, 0},
+		{"single q0", &one, 0, 37},
+		{"single q0.5", &one, 0.5, 37},
+		{"single q0.99", &one, 0.99, 37},
+		{"single q1", &one, 1, 37},
+		{"q<=0 is min", &many, -0.5, 5},
+		{"q>=1 is max", &many, 1.7, 15},
+		{"q NaN-adjacent low", &many, 1e-9, 5}, // rank clamps to 1: still min
+	}
+	for _, tc := range cases {
+		if got := tc.h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
 // Quantile estimates must stay within one sub-bucket's relative width of the
 // exact sample quantile — the log-linear design's error bound.
 func TestHistogramQuantileAccuracy(t *testing.T) {

@@ -47,6 +47,10 @@ const (
 	KindHostCrash       Kind = "rollout.host-crash"
 	KindHostRejoin      Kind = "rollout.host-rejoin"
 	KindHostRebuild     Kind = "rollout.host-rebuild"
+	// Observability-plane events: an SLO burn-rate monitor firing ahead of
+	// a barrier verdict, and a flight-recorder bundle being cut.
+	KindSLOBurn    Kind = "slo.burn-alert"
+	KindFlightDump Kind = "rollout.flight-dump"
 )
 
 // Event is one recorded decision.

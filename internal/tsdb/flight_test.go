@@ -1,0 +1,96 @@
+package tsdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tmo/internal/trace"
+	"tmo/internal/vclock"
+)
+
+func sample(w int, psi float64) FlightSample {
+	return FlightSample{
+		T:      vclock.Time(w) * vclock.Time(30*vclock.Second),
+		Window: w,
+		Values: map[string]float64{"pressure": psi, "rps": 100},
+	}
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	for w := 0; w < 10; w++ {
+		fr.Record(sample(w, float64(w)/100))
+	}
+	got := fr.Samples()
+	if len(got) != 4 {
+		t.Fatalf("retained %d samples, want 4", len(got))
+	}
+	for i, s := range got {
+		if s.Window != 6+i {
+			t.Fatalf("sample %d is window %d, want %d (oldest-first order)", i, s.Window, 6+i)
+		}
+	}
+	fr.Reset()
+	if len(fr.Samples()) != 0 {
+		t.Fatalf("reset did not clear ring")
+	}
+	fr.Record(sample(99, 0))
+	if got := fr.Samples(); len(got) != 1 || got[0].Window != 99 {
+		t.Fatalf("post-reset recording broken: %+v", got)
+	}
+}
+
+func TestFlightBundleJSONL(t *testing.T) {
+	bundle := FlightBundle{
+		Host:        "host-3/web",
+		Reason:      "guardrail-psi",
+		T:           360 * vclock.Time(vclock.Second),
+		Window:      12,
+		Incarnation: 1,
+		Samples:     []FlightSample{sample(10, 0.003), sample(11, 0.009)},
+		Events: FlightEventsFromTrace([]trace.Event{
+			{Time: 350 * vclock.Time(vclock.Second), Kind: trace.KindRolloutTrip, Subject: "cand@C", Detail: "psi"},
+		}, 64),
+	}
+	var a, b bytes.Buffer
+	if err := bundle.WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := bundle.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("bundle dump not deterministic")
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("bundle has %d lines, want header+2 samples+1 event:\n%s", len(lines), a.String())
+	}
+	if !strings.Contains(lines[0], `"line":"header"`) || !strings.Contains(lines[0], `"reason":"guardrail-psi"`) {
+		t.Fatalf("header line malformed: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"pressure":0.003`) {
+		t.Fatalf("sample line malformed: %s", lines[1])
+	}
+	if !strings.Contains(lines[3], "rollout.guardrail-trip") {
+		t.Fatalf("event line malformed: %s", lines[3])
+	}
+	if got, want := bundle.Filename(), "host-3-web_w012_guardrail-psi.jsonl"; got != want {
+		t.Fatalf("Filename() = %q, want %q", got, want)
+	}
+}
+
+func TestFlightEventsTail(t *testing.T) {
+	evs := make([]trace.Event, 10)
+	for i := range evs {
+		evs[i] = trace.Event{Time: vclock.Time(i), Subject: "s"}
+	}
+	got := FlightEventsFromTrace(evs, 3)
+	if len(got) != 3 || got[0].T != 7 {
+		t.Fatalf("tail = %+v", got)
+	}
+	if got := FlightEventsFromTrace(evs, 0); len(got) != 10 {
+		t.Fatalf("n=0 should keep all, got %d", len(got))
+	}
+}
