@@ -68,6 +68,7 @@ func main() {
 		{"resilience", func() experiments.Result { return experiments.Resilience(cfg) }},
 		{"rollout", func() experiments.Result { return experiments.RolloutScorecard(cfg) }},
 		{"policy", func() experiments.Result { return experiments.PolicyScorecard(cfg) }},
+		{"twinscale", func() experiments.Result { return experiments.TwinScaleScorecard(cfg) }},
 	}
 
 	ran := 0

@@ -6,27 +6,35 @@
 // Usage:
 //
 //	fleetsim [-mode zswap] [-warm 40m] [-measure 10m] [-scale 0.5] [-seed 7]
-//	         [-replicas 3] [-ratio-mult 8] [-json] [-tsdb-out series.jsonl]
-//	         [-dashboard]
+//	         [-replicas 3] [-ratio-mult 8] [-calib-in coeffs.json] [-json]
+//	         [-tsdb-out series.jsonl] [-dashboard]
 //
 // -ratio-mult scales Senpai's reclaim ratio so runs converge within the
 // given warm-up (the production ratio of 0.0005 sheds only ~0.5%/min; pass
 // -ratio-mult 1 for the verbatim production configuration and a
 // correspondingly long -warm). -json replaces the tables with a machine-
 // readable report of per-application and weighted-aggregate savings.
+//
+// -calib-in switches to twin-backed measurement: instead of simulating,
+// the configured policy is evaluated against the calibration artifact's
+// per-(device class, mode) response surfaces (internal/twin) — an O(1)
+// fleet projection of savings, pressure, throughput, and fault latency.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sort"
 
 	"tmo/cmd/internal/cliutil"
+	"tmo/internal/core"
 	"tmo/internal/fleet"
 	"tmo/internal/senpai"
 	"tmo/internal/telemetry"
 	"tmo/internal/textplot"
 	"tmo/internal/tsdb"
+	"tmo/internal/twin"
 	"tmo/internal/vclock"
 )
 
@@ -66,6 +74,7 @@ func main() {
 	seed := flag.Uint64("seed", 7, "fleet seed")
 	replicas := flag.Int("replicas", 1, "independent servers per class (adds P50/P90 columns)")
 	ratioMult := flag.Float64("ratio-mult", 8, "multiplier on Senpai's reclaim ratio (1 = production)")
+	calibIn := flag.String("calib-in", "", "twin calibration artifact: project the fleet response from surfaces instead of simulating")
 	jsonOut := flag.Bool("json", false, "emit per-app and aggregate savings as JSON instead of tables")
 	tsdbOut := flag.String("tsdb-out", "", "scrape each server's telemetry into a time-series file (.csv for CSV, else JSON Lines)")
 	dashboard := flag.Bool("dashboard", false, "print a summary table of the scraped series")
@@ -76,13 +85,26 @@ func main() {
 	measure := cliutil.MustDuration("fleetsim", "measure", *measureStr)
 
 	mix := fleet.DefaultMix(mode, *seed)
+	sc := senpai.ConfigA()
+	sc.ReclaimRatio *= *ratioMult
+
+	if *calibIn != "" {
+		f, err := os.Open(*calibIn)
+		if err != nil {
+			cliutil.Fatal("fleetsim", err)
+		}
+		coeffs, err := twin.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			cliutil.Fatal("fleetsim", err)
+		}
+		projectFromTwin(coeffs, mix, mode, sc, *jsonOut)
+		return
+	}
 	if !*jsonOut {
 		fmt.Printf("fleetsim: %d server classes x %d replicas, mode %s, warm %v + measure %v per A/B side\n\n",
 			len(mix), *replicas, mode, warm, measure)
 	}
-
-	sc := senpai.ConfigA()
-	sc.ReclaimRatio *= *ratioMult
 
 	// Expand the mix class-major into per-replica specs, measure the whole
 	// population over the fleet worker pool, and report per class.
@@ -175,6 +197,90 @@ func main() {
 	if *dashboard {
 		fmt.Printf("\nscraped series:\n%s", tsdb.Summary(db))
 	}
+}
+
+// twinProjection is one device class's analytical response in the
+// -calib-in -json report.
+type twinProjection struct {
+	Device         string  `json:"device"`
+	Weight         float64 `json:"weight"`
+	SavingsFrac    float64 `json:"savings_frac"`
+	MemPressure    float64 `json:"mem_pressure"`
+	RPSRatio       float64 `json:"rps_ratio"`
+	FaultP99Us     float64 `json:"fault_p99_us"`
+	SwapUtil       float64 `json:"swap_util"`
+	OOMRatePerHour float64 `json:"oom_rate_per_hour"`
+}
+
+// projectFromTwin evaluates the configured policy against the calibration
+// artifact's response surfaces: one row per device class in the mix, plus
+// the weight-aggregated fleet savings. O(1) per class — no simulation.
+func projectFromTwin(coeffs *twin.CoefficientSet, mix []fleet.Spec, mode core.Mode, sc senpai.Config, jsonOut bool) {
+	a := twin.Aggressiveness(sc)
+	byClass := map[string]*twinProjection{}
+	var order []string
+	for _, s := range mix {
+		d := s.DeviceClass()
+		p, ok := byClass[d]
+		if !ok {
+			sur, found := coeffs.Lookup(d, mode)
+			if !found {
+				cliutil.Fatal("fleetsim", fmt.Errorf("calibration has no surface for %s — recalibrate covering this class and mode", twin.Key(d, mode)))
+			}
+			pt := sur.Eval(a)
+			p = &twinProjection{
+				Device:         d,
+				SavingsFrac:    pt.Savings,
+				MemPressure:    pt.Pressure,
+				RPSRatio:       pt.RPSRatio,
+				FaultP99Us:     pt.FaultP99Us,
+				SwapUtil:       pt.SwapUtil,
+				OOMRatePerHour: pt.OOMRate * 3600,
+			}
+			byClass[d] = p
+			order = append(order, d)
+		}
+		p.Weight += s.Weight
+	}
+	sort.Strings(order)
+
+	var weighted, totalW float64
+	rows := make([]twinProjection, 0, len(order))
+	for _, d := range order {
+		p := byClass[d]
+		weighted += p.SavingsFrac * p.Weight
+		totalW += p.Weight
+		rows = append(rows, *p)
+	}
+	if totalW > 0 {
+		weighted /= totalW
+	}
+
+	if jsonOut {
+		cliutil.EmitJSON("fleetsim", struct {
+			Mode            string           `json:"mode"`
+			Aggressiveness  float64          `json:"aggressiveness"`
+			Classes         []twinProjection `json:"classes"`
+			WeightedSavings float64          `json:"weighted_savings_frac"`
+		}{mode.String(), a, rows, weighted})
+		return
+	}
+	fmt.Printf("fleetsim: twin projection at aggressiveness %.1f on %s (no simulation)\n\n", a, mode)
+	table := [][]string{{"device", "weight", "savings", "psi", "rps", "fault p99 µs", "swap util", "oom/h"}}
+	for _, p := range rows {
+		table = append(table, []string{
+			p.Device,
+			fmt.Sprintf("%.2f", p.Weight),
+			fmt.Sprintf("%.1f%%", 100*p.SavingsFrac),
+			fmt.Sprintf("%.4f", p.MemPressure),
+			fmt.Sprintf("%.3f", p.RPSRatio),
+			fmt.Sprintf("%.4g", p.FaultP99Us),
+			fmt.Sprintf("%.2f", p.SwapUtil),
+			fmt.Sprintf("%.3g", p.OOMRatePerHour),
+		})
+	}
+	fmt.Print(textplot.Table(table))
+	fmt.Printf("\nweighted projected savings: %.1f%% of resident memory\n", 100*weighted)
 }
 
 // telemetryTable renders the per-server pressure/latency view pulled from

@@ -12,11 +12,12 @@
 //
 // Usage:
 //
-//	rolloutsim [-hosts 12] [-mode zswap] [-mode-change tiered] [-window 30s]
-//	           [-warm 4] [-bake 4] [-plan canary=0.1,stage-2=0.5,fleet=1]
+//	rolloutsim [-hosts 12 | -fleet-size 100000] [-mode zswap] [-mode-change tiered]
+//	           [-window 30s] [-warm 4] [-bake 4] [-plan canary=0.1,stage-2=0.5,fleet=1]
 //	           [-candidates 1] [-ratio-mult 10] [-aggressive]
 //	           [-devices C,F] [-guardrail F:psi=0.0002] [-crash 3@5m+2m]
-//	           [-seed 42] [-events] [-json] [-tsdb-out series.jsonl]
+//	           [-twin] [-calib-in coeffs.json] [-calib-out coeffs.json]
+//	           [-workers N] [-seed 42] [-events] [-json] [-tsdb-out series.jsonl]
 //	           [-flight-dir flights/] [-dashboard]
 //
 // The baseline policy leaves offloading idle, so per-stage savings measure
@@ -24,6 +25,14 @@
 // last candidate deliberately unsafe (the paper's Config B shape, probing
 // harder than its probe cap) to demonstrate a guardrail trip.
 // -crash host@at+dur schedules host churn; the flag repeats.
+//
+// Scale: -twin switches to the two-fidelity fleet layout — per device class
+// the head/tail hosts stay full page-level simulations and the long tail
+// runs calibrated analytical twins (internal/twin), making 100k+-host
+// fleets tractable at wall-clock comparable to a few hundred full hosts.
+// Coefficients come from -calib-in (a prior artifact); without it the
+// command auto-calibrates against the baseline mode, candidate modes, and
+// candidate policy ladder, and -calib-out exports the artifact for reuse.
 //
 // Observability: -tsdb-out exports the run's labeled time-series (host
 // vitals, cohort aggregates, controller telemetry); -flight-dir drops a
@@ -34,14 +43,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"tmo/cmd/internal/cliutil"
 	"tmo/internal/chaos"
+	"tmo/internal/core"
 	"tmo/internal/fleet"
 	"tmo/internal/rollout"
 	"tmo/internal/senpai"
 	"tmo/internal/tsdb"
+	"tmo/internal/twin"
 	"tmo/internal/vclock"
 )
 
@@ -115,6 +129,11 @@ func main() {
 	ratioMult := flag.Float64("ratio-mult", 10, "first candidate's reclaim-ratio multiplier over production Config A; each further candidate steps it up")
 	aggressive := flag.Bool("aggressive", false, "make the last candidate deliberately unsafe (Config B shape)")
 	devicesStr := flag.String("devices", "", "comma-separated device classes to cycle across the fleet (default: the mix's own)")
+	fleetSize := flag.Int("fleet-size", 0, "alias for -hosts sized for twin fleets (takes precedence when set)")
+	twinFlag := flag.Bool("twin", false, "two-fidelity layout: full-fidelity head/tail anchors per device class, analytical twins for the long tail")
+	calibIn := flag.String("calib-in", "", "load twin calibration coefficients from this JSON artifact (implies -twin)")
+	calibOut := flag.String("calib-out", "", "write the twin calibration coefficient artifact to this file")
+	workers := flag.Int("workers", 0, "host worker pool size (default: NumCPU with -twin, else 4)")
 	seed := flag.Uint64("seed", 42, "rollout seed")
 	events := flag.Bool("events", false, "print the full rollout event log")
 	jsonOut := flag.Bool("json", false, "emit the scorecard as JSON instead of tables")
@@ -127,6 +146,9 @@ func main() {
 	flag.Var(&guardrails, "guardrail", "guardrail bundle as [device:]k=v,... with keys psi, rps, oom, latch, latched (repeatable)")
 	flag.Parse()
 
+	if *fleetSize > 0 {
+		*hosts = *fleetSize
+	}
 	mode := cliutil.MustMode("rolloutsim", *modeStr)
 	candMode := mode
 	if *modeChange != "" {
@@ -182,11 +204,80 @@ func main() {
 		DeviceGuardrails: guardrails.devices,
 		Window:           window,
 		WarmWindows:      *warm,
+		Workers:          *workers,
 		Seed:             *seed,
 		Crashes:          crashes,
 	}
 	if guardrails.fleet != nil {
 		cfg.Guardrails = *guardrails.fleet
+	}
+
+	useTwin := *twinFlag || *calibIn != ""
+	var coeffs *twin.CoefficientSet
+	if *calibIn != "" {
+		f, err := os.Open(*calibIn)
+		if err != nil {
+			cliutil.Fatal("rolloutsim", err)
+		}
+		coeffs, err = twin.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			cliutil.Fatal("rolloutsim", err)
+		}
+	} else if useTwin || *calibOut != "" {
+		// Auto-calibrate: one representative spec per device class, every
+		// mode a policy could push, and the candidate ladder itself as probe
+		// rungs (bracketed by the default ladder so the surface covers policy
+		// space beyond the candidates).
+		byClass, classes := fleet.DeviceCohorts(specs)
+		calSpecs := make([]fleet.Spec, 0, len(classes))
+		for _, d := range classes {
+			s := specs[byClass[d][0]]
+			s.Seed = 0
+			calSpecs = append(calSpecs, s)
+		}
+		modes := []core.Mode{mode}
+		if candMode != mode {
+			modes = append(modes, candMode)
+		}
+		probes := twin.DefaultProbes(baseCfg)
+		for _, c := range cands {
+			probes = append(probes, c.Config)
+		}
+		calStart := time.Now()
+		coeffs = twin.Calibrate(twin.CalibrateConfig{
+			Specs:    calSpecs,
+			Modes:    modes,
+			Baseline: baseCfg,
+			Probes:   probes,
+			Window:   window,
+			Seed:     *seed,
+		})
+		if !*jsonOut {
+			fmt.Printf("rolloutsim: calibrated %d twin surfaces over %d device classes in %.1fs\n",
+				len(coeffs.Surfaces), len(classes), time.Since(calStart).Seconds())
+		}
+	}
+	if *calibOut != "" {
+		f, err := os.Create(*calibOut)
+		if err != nil {
+			cliutil.Fatal("rolloutsim", err)
+		}
+		if err := coeffs.WriteJSON(f); err != nil {
+			cliutil.Fatal("rolloutsim", err)
+		}
+		if err := f.Close(); err != nil {
+			cliutil.Fatal("rolloutsim", err)
+		}
+		if !*jsonOut {
+			fmt.Printf("wrote twin calibration artifact to %s\n", *calibOut)
+		}
+	}
+	if useTwin {
+		cfg.Twin = &rollout.TwinConfig{Coeffs: coeffs}
+		if cfg.Workers <= 0 {
+			cfg.Workers = runtime.NumCPU()
+		}
 	}
 
 	// Any observability output wants the plane attached; the dashboard and
@@ -209,7 +300,9 @@ func main() {
 		fmt.Println()
 	}
 
+	runStart := time.Now()
 	r := rollout.New(cfg).Run()
+	wall := time.Since(runStart)
 
 	if *tsdbOut != "" {
 		cliutil.MustExportSeries("rolloutsim", *tsdbOut, db)
@@ -226,6 +319,7 @@ func main() {
 		return
 	}
 	fmt.Println(r.Render())
+	fmt.Printf("wall-clock: %.1fs for %d hosts (%s virtual)\n", wall.Seconds(), len(cfg.Hosts), r.Duration)
 	if *dashboard {
 		fmt.Println("cohort dashboard (per candidate/stage):")
 		fmt.Print(tsdb.Dashboard(db, []string{

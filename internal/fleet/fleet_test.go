@@ -67,6 +67,55 @@ func TestDeviceCohorts(t *testing.T) {
 	}
 }
 
+// TestDeviceCohortsDegenerateFleets pins the edge shapes the rollout
+// control plane feeds DeviceCohorts: empty populations, single-class
+// fleets, and device letters outside the catalog.
+func TestDeviceCohortsDegenerateFleets(t *testing.T) {
+	// Empty population: nothing to slice, nothing to iterate.
+	byClass, classes := DeviceCohorts(nil)
+	if len(classes) != 0 || len(byClass) != 0 {
+		t.Fatalf("empty fleet: classes=%v byClass=%v, want empty", classes, byClass)
+	}
+	byClass, classes = DeviceCohorts([]Spec{})
+	if len(classes) != 0 || len(byClass) != 0 {
+		t.Fatalf("zero-length fleet: classes=%v byClass=%v, want empty", classes, byClass)
+	}
+
+	// Single-class fleet (all zero specs default to C): one cohort holding
+	// every index in population order.
+	byClass, classes = DeviceCohorts(make([]Spec, 5))
+	if len(classes) != 1 || classes[0] != "C" {
+		t.Fatalf("uniform fleet classes = %v, want [C]", classes)
+	}
+	for i, idx := range byClass["C"] {
+		if idx != i {
+			t.Fatalf("cohort C = %v, want [0 1 2 3 4]", byClass["C"])
+		}
+	}
+	if len(byClass["C"]) != 5 {
+		t.Fatalf("cohort C holds %d hosts, want 5", len(byClass["C"]))
+	}
+
+	// A device letter outside the catalog is a cohort key, not an error:
+	// cohort slicing never consults the device model table.
+	if got := (Spec{Device: "Z"}).DeviceClass(); got != "Z" {
+		t.Fatalf("unknown device class = %q, want Z", got)
+	}
+	byClass, classes = DeviceCohorts([]Spec{{Device: "Z"}, {}, {Device: "Z"}})
+	if len(classes) != 2 || classes[0] != "C" || classes[1] != "Z" {
+		t.Fatalf("mixed unknown-device classes = %v, want [C Z]", classes)
+	}
+	if got := byClass["Z"]; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("cohort Z = %v, want [0 2]", got)
+	}
+
+	// Absent classes read as nil, not a panic — guardrail maps probe
+	// classes that may not exist in the current fleet.
+	if byClass["A"] != nil {
+		t.Fatalf("absent cohort = %v, want nil", byClass["A"])
+	}
+}
+
 func TestSpecBackendKnobs(t *testing.T) {
 	// ZswapPoolFrac caps the compressed pool on a zswap host.
 	base := Spec{App: "feed", Mode: core.ModeZswap, Seed: 7}

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"strconv"
 
+	"tmo/internal/fleet"
 	"tmo/internal/slo"
 	"tmo/internal/telemetry"
 	"tmo/internal/trace"
 	"tmo/internal/tsdb"
+	"tmo/internal/twin"
 )
 
 // ObsConfig attaches the observability plane to a rollout: at every window
@@ -99,9 +101,17 @@ func newObsState(cfg Config, reg *telemetry.Registry) *obsState {
 		fr:        make([]*tsdb.FlightRecorder, len(cfg.Hosts)),
 		oomDumped: make([]int, len(cfg.Hosts)),
 	}
+	// Per-host series and flight recorders only exist for full-fidelity
+	// hosts: a 100k-host twin fleet would otherwise mint ~600k series and
+	// 100k recorder rings for members whose whole point is to be cheap.
+	// Twins are observed through the cohort and per-fidelity aggregates.
+	layout := fidelityLayout(cfg)
 	for i := range st.fr {
-		st.fr[i] = tsdb.NewFlightRecorder(o.FlightWindows)
 		st.oomDumped[i] = -1
+		if layout[i] == fleet.FidelityTwin {
+			continue
+		}
+		st.fr[i] = tsdb.NewFlightRecorder(o.FlightWindows)
 	}
 	return st
 }
@@ -138,6 +148,15 @@ func defaultMonitors(cfg Config, o ObsConfig) []slo.Monitor {
 			Horizon: 8 * cfg.Window,
 		})
 	}
+	if cfg.Twin != nil {
+		// Two-fidelity fleets watch the |full − twin| per-class pressure gap:
+		// a burn here means the calibration has gone stale against the live
+		// full-fidelity anchors and twin cohort verdicts are suspect.
+		ms = append(ms, slo.Monitor{
+			Name: "twin-drift", Metric: "rollout.fidelity.pressure_gap",
+			Kind: slo.Upper, Budget: twin.DefaultTolerance().Pressure,
+		})
+	}
 	return ms
 }
 
@@ -166,10 +185,11 @@ func (c *Controller) observe(cws []candWindow) {
 	stage := c.stageLabel()
 
 	for _, h := range c.hosts {
-		if h.down {
+		// Per-host vitals, registry scrapes, and flight recording are the
+		// full-fidelity anchors' job; twins surface only through aggregates.
+		if h.down || h.fidelity != fleet.FidelityFull {
 			continue
 		}
-		snap := h.sys.TelemetrySnapshot()
 		vitals := map[string]float64{
 			"pressure":       h.winPressure,
 			"rps":            h.winRPS,
@@ -177,12 +197,10 @@ func (c *Controller) observe(cws []candWindow) {
 			"ooms":           float64(h.winOOMs),
 		}
 		if h.swapCap > 0 {
-			if sw := h.sys.Server.Swap(); sw != nil {
-				vitals["swap_util"] = float64(sw.Stats().StoredBytes) / float64(h.swapCap)
-			}
+			vitals["swap_util"] = float64(h.swapStored) / float64(h.swapCap)
 		}
-		if fl, ok := snap.Get("mm.fault_latency_us"); ok {
-			vitals["fault_p99_us"] = fl.Quantile(0.99)
+		if h.faultP99 > 0 {
+			vitals["fault_p99_us"] = h.faultP99
 		}
 
 		labels := []telemetry.Label{
@@ -199,7 +217,7 @@ func (c *Controller) observe(cws []candWindow) {
 			}
 		}
 		if o.cfg.ScrapeHosts {
-			o.scraper.ScrapeSnapshot(c.now, labels, snap)
+			o.scraper.ScrapeSnapshot(c.now, labels, h.sim.Snapshot())
 		}
 
 		o.fr[h.index].Record(tsdb.FlightSample{T: c.now, Window: c.window, Values: vitals})
@@ -208,6 +226,8 @@ func (c *Controller) observe(cws []candWindow) {
 			c.dumpFlight(h, "oom")
 		}
 	}
+
+	c.observeFidelity(stage)
 
 	for k := range cws {
 		cw := &cws[k]
@@ -246,10 +266,71 @@ var hostVitalOrder = []string{
 	"pressure", "rps", "resident_bytes", "ooms", "swap_util", "fault_p99_us",
 }
 
+// fidelities fixes the per-fidelity series order.
+var fidelities = []string{fleet.FidelityFull, fleet.FidelityTwin}
+
+// observeFidelity writes the two-fidelity health series: per (device class,
+// fidelity) mean pressure and host count over the treated cohort, and the
+// |full − twin| pressure gap per class wherever both fidelities have treated
+// hosts. The gap feeds the twin-drift burn monitor — the live check that the
+// calibration still tracks the full-fidelity anchors riding along in the
+// same cohorts.
+func (c *Controller) observeFidelity(stage string) {
+	if c.obs == nil || c.cfg.Twin == nil {
+		return
+	}
+	type agg struct {
+		n     int
+		press float64
+	}
+	sums := map[string]*agg{}
+	for _, h := range c.hosts {
+		if h.down || h.assigned < 0 || !h.eligible(c.cfg.WarmWindows) {
+			continue
+		}
+		k := h.device + "|" + h.fidelity
+		a := sums[k]
+		if a == nil {
+			a = &agg{}
+			sums[k] = a
+		}
+		a.n++
+		a.press += h.winPressure
+	}
+	for _, d := range c.fleetDevices {
+		var mean [2]float64
+		var have [2]bool
+		for fi, f := range fidelities {
+			a := sums[d+"|"+f]
+			if a == nil || a.n == 0 {
+				continue
+			}
+			mean[fi] = a.press / float64(a.n)
+			have[fi] = true
+			fl := []telemetry.Label{
+				{Key: "device", Value: d},
+				{Key: "fidelity", Value: f},
+				{Key: "stage", Value: stage},
+			}
+			c.obs.cfg.DB.Append(c.now, "rollout.fidelity.mem_pressure", fl, mean[fi])
+			c.obs.cfg.DB.Append(c.now, "rollout.fidelity.hosts", fl, float64(a.n))
+		}
+		if have[0] && have[1] {
+			gap := mean[0] - mean[1]
+			if gap < 0 {
+				gap = -gap
+			}
+			c.obs.cfg.DB.Append(c.now, "rollout.fidelity.pressure_gap",
+				[]telemetry.Label{{Key: "device", Value: d}, {Key: "stage", Value: stage}}, gap)
+		}
+	}
+}
+
 // dumpFlight cuts one host's flight bundle: the recorder ring plus the tail
-// of the decision log around the trigger.
+// of the decision log around the trigger. Twin hosts carry no recorder and
+// ship no bundles.
 func (c *Controller) dumpFlight(h *host, reason string) {
-	if c.obs == nil {
+	if c.obs == nil || c.obs.fr[h.index] == nil {
 		return
 	}
 	b := tsdb.FlightBundle{

@@ -75,6 +75,9 @@ type HostReport struct {
 	Index  int
 	App    string
 	Device string
+	// Fidelity is the host's layout assignment: fleet.FidelityFull or
+	// fleet.FidelityTwin.
+	Fidelity string
 	// Crashes/Rejoins count chaos-driven churn; Rebuilds counts
 	// mode-changing policy pushes (each also bumps the incarnation).
 	Crashes  int
@@ -113,6 +116,10 @@ type Result struct {
 	Flights []tsdb.FlightBundle
 	// CanaryHosts is the size of the first-stage cohort.
 	CanaryHosts int
+	// FullHosts/TwinHosts split the population by fidelity (TwinHosts is 0
+	// without Config.Twin).
+	FullHosts int
+	TwinHosts int
 	// Window is the barrier window length.
 	Window vclock.Duration
 	// Duration is the total virtual time simulated.
@@ -168,6 +175,9 @@ func (r Result) Render() string {
 	if r.Promoted != "" {
 		fmt.Fprintf(&b, "promoted: %s\n", r.Promoted)
 	}
+	if r.TwinHosts > 0 {
+		fmt.Fprintf(&b, "fidelity: %d full / %d twin hosts\n", r.FullHosts, r.TwinHosts)
+	}
 	b.WriteString("\n")
 
 	rows := [][]string{{"stage", "frac", "policy", "hosts", "windows", "psi-avg", "rps-ratio", "oom", "latched", "savings", "verdict"}}
@@ -198,12 +208,21 @@ func (r Result) Render() string {
 	b.WriteString(textplot.Table(rows))
 	b.WriteString("\n")
 
-	rows = [][]string{{"host", "app", "dev", "crashes", "rejoins", "rebuilds", "oom", "latched", "policy"}}
-	for _, h := range r.Hosts {
+	// The host table stays readable at fleet scale: big populations show
+	// the head (where canary and full-fidelity anchors live) and a summary
+	// line for the rest.
+	const hostTableCap = 32
+	shown := r.Hosts
+	if len(shown) > hostTableCap+8 {
+		shown = shown[:hostTableCap]
+	}
+	rows = [][]string{{"host", "app", "dev", "fid", "crashes", "rejoins", "rebuilds", "oom", "latched", "policy"}}
+	for _, h := range shown {
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", h.Index),
 			h.App,
 			h.Device,
+			h.Fidelity,
 			fmt.Sprintf("%d", h.Crashes),
 			fmt.Sprintf("%d", h.Rejoins),
 			fmt.Sprintf("%d", h.Rebuilds),
@@ -213,5 +232,16 @@ func (r Result) Render() string {
 		})
 	}
 	b.WriteString(textplot.Table(rows))
+	if n := len(r.Hosts) - len(shown); n > 0 {
+		var crashes, rebuilds int
+		var ooms int64
+		for _, h := range r.Hosts[len(shown):] {
+			crashes += h.Crashes
+			rebuilds += h.Rebuilds
+			ooms += h.OOMKills
+		}
+		fmt.Fprintf(&b, "... %d more hosts (crashes=%d rebuilds=%d oom=%d)\n",
+			n, crashes, rebuilds, ooms)
+	}
 	return b.String()
 }

@@ -38,12 +38,11 @@ import (
 	"tmo/internal/chaos"
 	"tmo/internal/core"
 	"tmo/internal/fleet"
-	"tmo/internal/psi"
 	"tmo/internal/telemetry"
 	"tmo/internal/trace"
 	"tmo/internal/tsdb"
+	"tmo/internal/twin"
 	"tmo/internal/vclock"
-	"tmo/internal/workload"
 )
 
 // Stage is one step of the rollout plan. Hosts are enrolled in index order:
@@ -122,6 +121,32 @@ type Config struct {
 	// Obs attaches the observability plane (TSDB scraping, SLO burn
 	// monitors, flight recorders); nil runs without one.
 	Obs *ObsConfig
+	// Twin enables the two-fidelity fleet layout for 100k+-host rollouts;
+	// nil runs every host at full fidelity.
+	Twin *TwinConfig
+	// PriorOutcomes seeds the race with the verdicts of a previous campaign
+	// (Result.Candidates): a candidate whose policy name matches a prior
+	// outcome starts excluded from every device class that dropped it, and a
+	// candidate dropped everywhere starts out of the race. Lets chained
+	// campaigns avoid re-burning canary hosts on known-bad cohorts.
+	PriorOutcomes []CandidateOutcome
+}
+
+// TwinConfig is the two-fidelity fleet layout: per device class the first
+// FullHead and last FullTail hosts (in index order) run full page-level
+// simulations, and every host between them runs a calibrated analytical
+// twin (internal/twin) advancing in O(1) per window. Hosts are enrolled in
+// stage cohorts by index order, so head samples land in the canary prefix
+// and tail samples in the never-treated control suffix — every stage cohort
+// and the control cohort keep full-fidelity anchors.
+type TwinConfig struct {
+	// Coeffs is the calibration artifact (twin.Calibrate or
+	// twin.ReadJSON); required, and it must carry a surface for every
+	// (device class, mode) a twin host could be asked to run.
+	Coeffs *twin.CoefficientSet
+	// FullHead and FullTail are the per-device-class full-fidelity sample
+	// counts; defaults 4 and 4.
+	FullHead, FullTail int
 }
 
 // normalize fills defaults and validates, panicking on unusable configs the
@@ -207,7 +232,69 @@ func (cfg Config) normalize() Config {
 			panic(fmt.Sprintf("rollout: crash host %d out of range", cr.Host))
 		}
 	}
+	if cfg.Twin != nil {
+		t := *cfg.Twin
+		if t.Coeffs == nil || len(t.Coeffs.Surfaces) == 0 {
+			panic("rollout: Twin.Coeffs required — run a calibration (twin.Calibrate) first")
+		}
+		if t.FullHead <= 0 {
+			t.FullHead = 4
+		}
+		if t.FullTail <= 0 {
+			t.FullTail = 4
+		}
+		cfg.Twin = &t
+		// Fail at construction, not mid-rollout: every (device class, mode)
+		// a twin host could be pushed must have a fitted surface.
+		modes := []core.Mode{cfg.Baseline.Mode}
+		for _, p := range cfg.Candidates {
+			modes = append(modes, p.Mode)
+		}
+		seen := map[string]bool{}
+		for i, f := range fidelityLayout(cfg) {
+			if f != fleet.FidelityTwin {
+				continue
+			}
+			d := cfg.Hosts[i].DeviceClass()
+			for _, m := range modes {
+				k := twin.Key(d, m)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				if _, ok := t.Coeffs.Lookup(d, m); !ok {
+					panic(fmt.Sprintf("rollout: twin calibration has no surface for %s — recalibrate covering this class and mode", k))
+				}
+			}
+		}
+	}
 	return cfg
+}
+
+// fidelityLayout assigns each host index its fidelity under the twin
+// layout: per device class (indices in index order) the first FullHead and
+// last FullTail hosts stay full, the span between runs as twins. Classes
+// too small to thin out stay entirely full-fidelity.
+func fidelityLayout(cfg Config) []string {
+	out := make([]string, len(cfg.Hosts))
+	for i := range out {
+		out[i] = fleet.FidelityFull
+	}
+	if cfg.Twin == nil {
+		return out
+	}
+	byDev, devs := fleet.DeviceCohorts(cfg.Hosts)
+	for _, d := range devs {
+		idxs := byDev[d]
+		head, tail := cfg.Twin.FullHead, cfg.Twin.FullTail
+		if head+tail >= len(idxs) {
+			continue
+		}
+		for _, i := range idxs[head : len(idxs)-tail] {
+			out[i] = fleet.FidelityTwin
+		}
+	}
+	return out
 }
 
 // guardrailsFor resolves the bundle judging a device class's cohorts.
@@ -256,9 +343,11 @@ type host struct {
 	spec   fleet.Spec
 	device string
 	weight float64
+	// fidelity is the host's layout assignment (fleet.FidelityFull or
+	// fleet.FidelityTwin); fixed for the host's lifetime.
+	fidelity string
 
-	sys     *core.System
-	app     *workload.App
+	sim     fleet.HostSim
 	swapCap int64
 	// latchFrac is the device class's swap-exhaustion latch threshold.
 	latchFrac float64
@@ -280,16 +369,13 @@ type host struct {
 	// to; -1 means baseline (control cohort).
 	assigned int
 
-	// Window sampling state.
-	lastMem       vclock.Duration
-	lastCompleted int64
-	lastOOMs      int64
-
 	// Last window's outputs.
 	winPressure float64
 	winRPS      float64
 	winOOMs     int64
 	resident    float64
+	swapStored  int64
+	faultP99    float64
 
 	// Accumulated over the host's life.
 	oomTotal    int64
@@ -461,6 +547,8 @@ func New(cfg Config) *Controller {
 	for i, pol := range cfg.Candidates {
 		c.cands = append(c.cands, &candState{idx: i, pol: pol, excluded: map[string]bool{}})
 	}
+	c.applyPriorOutcomes()
+	layout := fidelityLayout(cfg)
 	for i, s := range cfg.Hosts {
 		w := s.Weight
 		if w <= 0 {
@@ -471,6 +559,7 @@ func New(cfg Config) *Controller {
 			spec:      s,
 			device:    s.DeviceClass(),
 			weight:    w,
+			fidelity:  layout[i],
 			assigned:  -1,
 			latchFrac: cfg.guardrailsFor(s.DeviceClass()).SwapUtilizationLatch,
 		}
@@ -521,12 +610,53 @@ func (c *Controller) aliveCount() int {
 	return n
 }
 
+// applyPriorOutcomes seeds the race with a previous campaign's verdicts:
+// matching candidates (by policy name) start excluded from every device
+// class that dropped them before, and a candidate whose prior exclusions
+// cover the whole current fleet starts out of the race entirely.
+func (c *Controller) applyPriorOutcomes() {
+	for _, prior := range c.cfg.PriorOutcomes {
+		for _, cand := range c.cands {
+			if cand.pol.Name != prior.Policy || len(prior.ExcludedDevices) == 0 {
+				continue
+			}
+			for _, d := range prior.ExcludedDevices {
+				cand.excluded[d] = true
+			}
+			if prior.Tripped != "" {
+				cand.tripped = prior.Tripped
+				cand.detail = prior.Detail
+			}
+			c.record(trace.KindRolloutDrop, cand.pol.Name,
+				"prior campaign exclusions carried in: %s", strings.Join(prior.ExcludedDevices, ","))
+		}
+	}
+	for _, cand := range c.cands {
+		if cand.dropped || len(cand.excluded) == 0 {
+			continue
+		}
+		covered := 0
+		for _, d := range c.fleetDevices {
+			if cand.excluded[d] {
+				covered++
+			}
+		}
+		if covered == len(c.fleetDevices) {
+			cand.dropped = true
+			c.telDrop.Inc()
+			c.record(trace.KindRolloutDrop, cand.pol.Name,
+				"candidate starts dropped: prior exclusions cover every device class")
+		}
+	}
+}
+
 // buildHost assembles (or reassembles, after a crash or a mode-changing
 // push) the host's simulation under the policy its cohort is currently
 // entitled to. The policy supplies the mode, Senpai config, and backend
 // knobs — overriding the spec's own (pushed policy wins over Spec.Senpai).
 // Incarnations perturb the seed so a rebooted host does not replay its
-// previous life.
+// previous life — twins included: a rebuilt twin gets a fresh splitmix64
+// stream from the same perturbed seed a full host would.
 func (c *Controller) buildHost(h *host) {
 	pol := c.policyFor(h)
 	spec := h.spec
@@ -540,15 +670,21 @@ func (c *Controller) buildHost(h *host) {
 		spec.SwapBytes = pol.SwapBytes
 	}
 	spec.Seed = h.spec.Seed + uint64(h.incarnation)*0x9e3779b9
-	sys, app := fleet.BuildHost(spec)
-	h.sys, h.app = sys, app
+	if h.fidelity == fleet.FidelityTwin {
+		// Surface presence was validated at construction.
+		sur, _ := c.cfg.Twin.Coeffs.Lookup(h.device, pol.Mode)
+		h.sim = twin.NewHost(spec, sur, spec.Seed)
+	} else {
+		h.sim = fleet.NewSimHost(spec)
+	}
 	h.runMode = pol.Mode
-	h.swapCap = swapCapacity(sys)
-	h.lastMem, h.lastCompleted, h.lastOOMs = 0, 0, 0
+	h.swapCap = h.sim.SwapCapacityBytes()
 	h.upWindows = 0
 	if c.obs != nil {
 		// A fresh incarnation starts a fresh black box.
-		c.obs.fr[h.index].Reset()
+		if fr := c.obs.fr[h.index]; fr != nil {
+			fr.Reset()
+		}
 	}
 }
 
@@ -569,24 +705,8 @@ func (c *Controller) pushPolicy(h *host) bool {
 			"policy %s: mode %s -> %s, incarnation %d", pol.Name, from, pol.Mode, h.incarnation)
 		return true
 	}
-	h.sys.Senpai.SetConfig(pol.Config)
+	h.sim.SetSenpaiConfig(pol.Config)
 	return false
-}
-
-// swapCapacity resolves the host's total offload capacity for the
-// swap-exhaustion latch (mirrors core.System.Chaos's sizing).
-func swapCapacity(sys *core.System) int64 {
-	switch {
-	case sys.Tiered != nil:
-		return sys.Zswap.MaxPoolBytes() + sys.SSDSwap.Capacity()
-	case sys.SSDSwap != nil:
-		return sys.SSDSwap.Capacity()
-	case sys.Zswap != nil:
-		return sys.Zswap.MaxPoolBytes()
-	case sys.NVM != nil:
-		return sys.Opts.SwapBytes
-	}
-	return 0
 }
 
 // hostName labels a host in the event log.
@@ -646,7 +766,7 @@ func (c *Controller) lifecycle() {
 		case h.wantDown && !h.down:
 			h.down = true
 			h.crashes++
-			h.sys, h.app = nil, nil
+			h.sim = nil
 			c.telCrash.Inc()
 			c.record(trace.KindHostCrash, c.hostName(h), "incarnation %d down", h.incarnation)
 			c.dumpFlight(h, "crash")
@@ -698,32 +818,21 @@ func (c *Controller) advance() {
 	wg.Wait()
 }
 
-// advanceHost runs one host for a window and samples its telemetry.
+// advanceHost runs one host for a window and samples its vitals. Both
+// fidelities surface the same shape (fleet.Vitals), so everything from here
+// up — aggregation, guardrails, monitors, promotion — is fidelity-blind.
 func (c *Controller) advanceHost(h *host) {
-	h.sys.Run(c.cfg.Window)
-	now := h.sys.Server.Now()
-	tr := h.app.Group.PSI()
-	tr.Sync(now)
-	memTot := tr.Total(psi.Memory, psi.Some)
-	h.winPressure = psi.WindowedPressure(h.lastMem, memTot, c.cfg.Window)
-	h.lastMem = memTot
-
-	completed := h.app.Completed()
-	h.winRPS = float64(completed-h.lastCompleted) / c.cfg.Window.Seconds()
-	h.lastCompleted = completed
-
-	ooms := h.sys.Metrics().OOMEvents
-	h.winOOMs = ooms - h.lastOOMs
-	h.lastOOMs = ooms
-	h.oomTotal += h.winOOMs
-
-	h.resident = float64(h.sys.NetResidentBytes())
-	if h.swapCap > 0 && h.latchFrac > 0 {
-		if sw := h.sys.Server.Swap(); sw != nil {
-			if float64(sw.Stats().StoredBytes) >= h.latchFrac*float64(h.swapCap) {
-				h.swapLatched = true
-			}
-		}
+	v := h.sim.Advance(c.cfg.Window)
+	h.winPressure = v.Pressure
+	h.winRPS = v.RPS
+	h.winOOMs = v.OOMKills
+	h.oomTotal += v.OOMKills
+	h.resident = v.ResidentBytes
+	h.swapStored = v.SwapStoredBytes
+	h.faultP99 = v.FaultP99Us
+	if h.swapCap > 0 && h.latchFrac > 0 &&
+		float64(v.SwapStoredBytes) >= h.latchFrac*float64(h.swapCap) {
+		h.swapLatched = true
 	}
 
 	h.upWindows++
@@ -1345,6 +1454,7 @@ func (c *Controller) result() Result {
 			Index:       h.index,
 			App:         h.spec.App,
 			Device:      h.device,
+			Fidelity:    h.fidelity,
 			Crashes:     h.crashes,
 			Rejoins:     h.rejoins,
 			Rebuilds:    h.rebuilds,
@@ -1353,6 +1463,11 @@ func (c *Controller) result() Result {
 			Policy:      c.policyFor(h).Name,
 			OnCandidate: h.assigned >= 0,
 		})
+		if h.fidelity == fleet.FidelityTwin {
+			r.TwinHosts++
+		} else {
+			r.FullHosts++
+		}
 	}
 	return r
 }

@@ -1,0 +1,277 @@
+package rollout
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"tmo/internal/core"
+	"tmo/internal/fleet"
+	"tmo/internal/twin"
+	"tmo/internal/vclock"
+)
+
+// testCoeffs calibrates twin surfaces for the two-class twin test fleet
+// once per test binary (calibration is a pile of full simulations).
+var (
+	calOnce sync.Once
+	calCS   *twin.CoefficientSet
+)
+
+func testCoeffs() *twin.CoefficientSet {
+	calOnce.Do(func() {
+		base := idleBaseline()
+		calCS = twin.Calibrate(twin.CalibrateConfig{
+			Specs: []fleet.Spec{
+				{App: "web", Device: "C", Scale: 0.3},
+				{App: "cache-a", Device: "F", Scale: 0.3},
+			},
+			Modes:    []core.Mode{core.ModeZswap},
+			Baseline: base,
+			Probes:   twin.DefaultProbes(base),
+			Window:   30 * vclock.Second,
+			Seed:     7,
+		})
+	})
+	return calCS
+}
+
+// twinFleet builds a two-class population sized for twin-layout tests. The
+// class alternates in pairs (C,C,F,F,...) so it is decoupled from host-index
+// parity — a K=2 candidate race round-robins by index, and every candidate
+// cohort must span both device classes.
+func twinFleet(n int) []fleet.Spec {
+	out := make([]fleet.Spec, n)
+	for i := range out {
+		app, dev := "web", "C"
+		if i%4 >= 2 {
+			app, dev = "cache-a", "F"
+		}
+		out[i] = fleet.Spec{App: app, Device: dev, Scale: 0.3, Mode: core.ModeZswap, Seed: 5000 + uint64(i)*77}
+	}
+	return out
+}
+
+func twinConfig(cands ...Policy) Config {
+	return Config{
+		Hosts:         twinFleet(60),
+		Baseline:      baselinePolicy(),
+		Candidates:    cands,
+		Plan:          []Stage{{Name: "canary", Frac: 0.1, Bake: 3}, {Name: "fleet", Frac: 0.9, Bake: 3}},
+		Guardrails:    testGuardrails(),
+		Window:        30 * vclock.Second,
+		WarmWindows:   2,
+		SettleWindows: 1,
+		Workers:       8,
+		Seed:          99,
+		Twin:          &TwinConfig{Coeffs: testCoeffs(), FullHead: 2, FullTail: 2},
+	}
+}
+
+func TestFidelityLayout(t *testing.T) {
+	cfg := twinConfig(safePolicy()).normalize()
+	layout := fidelityLayout(cfg)
+	byDev, devs := fleet.DeviceCohorts(cfg.Hosts)
+	if len(devs) != 2 {
+		t.Fatalf("test fleet has %d device classes, want 2", len(devs))
+	}
+	for _, d := range devs {
+		idxs := byDev[d]
+		full, twins := 0, 0
+		for pos, i := range idxs {
+			switch layout[i] {
+			case fleet.FidelityFull:
+				full++
+				if pos >= cfg.Twin.FullHead && pos < len(idxs)-cfg.Twin.FullTail {
+					t.Fatalf("class %s: middle host %d (pos %d) is full-fidelity", d, i, pos)
+				}
+			case fleet.FidelityTwin:
+				twins++
+				if pos < cfg.Twin.FullHead || pos >= len(idxs)-cfg.Twin.FullTail {
+					t.Fatalf("class %s: head/tail host %d (pos %d) is a twin", d, i, pos)
+				}
+			}
+		}
+		if full != cfg.Twin.FullHead+cfg.Twin.FullTail {
+			t.Fatalf("class %s: %d full hosts, want %d", d, full, cfg.Twin.FullHead+cfg.Twin.FullTail)
+		}
+		if twins != len(idxs)-full {
+			t.Fatalf("class %s: %d twins, want %d", d, twins, len(idxs)-full)
+		}
+	}
+
+	// A class too small to thin out stays entirely full-fidelity.
+	small := twinConfig(safePolicy())
+	small.Hosts = twinFleet(6) // 3 per class <= head+tail
+	small = small.normalize()
+	for i, f := range fidelityLayout(small) {
+		if f != fleet.FidelityFull {
+			t.Fatalf("small class host %d assigned %s, want full", i, f)
+		}
+	}
+
+	// Without Twin the whole fleet is full-fidelity.
+	plain := testConfig(safePolicy()).normalize()
+	for i, f := range fidelityLayout(plain) {
+		if f != fleet.FidelityFull {
+			t.Fatalf("non-twin host %d assigned %s", i, f)
+		}
+	}
+}
+
+// TestTwinRolloutDeterminism pins the two-fidelity acceptance guarantee:
+// the same config and seed produce a byte-identical event log over a mixed
+// full/twin fleet, including under the worker pool.
+func TestTwinRolloutDeterminism(t *testing.T) {
+	r1 := New(twinConfig(safePolicy())).Run()
+	r2 := New(twinConfig(safePolicy())).Run()
+	if r1.EventLog() != r2.EventLog() {
+		t.Fatalf("twin rollout event logs diverge:\n--- run 1\n%s\n--- run 2\n%s", r1.EventLog(), r2.EventLog())
+	}
+	if r1.TwinHosts == 0 || r1.FullHosts == 0 {
+		t.Fatalf("fleet not mixed-fidelity: %d full, %d twin", r1.FullHosts, r1.TwinHosts)
+	}
+	if r1.TwinHosts <= r1.FullHosts {
+		t.Fatalf("twin layout should put the long tail on twins: %d full, %d twin", r1.FullHosts, r1.TwinHosts)
+	}
+	if !r1.Completed() {
+		t.Fatalf("safe twin rollout ended %s; log:\n%s", r1.State, r1.EventLog())
+	}
+	for _, h := range r1.Hosts {
+		want := fleet.FidelityFull
+		if h.Index >= 4 && h.Index < len(r1.Hosts)-4 {
+			want = fleet.FidelityTwin
+		}
+		if h.Fidelity != want {
+			t.Fatalf("host %d fidelity %s, want %s", h.Index, h.Fidelity, want)
+		}
+	}
+}
+
+// TestTwinRolloutGuardrailTrip drives a safe-vs-aggressive race over the
+// mixed fleet: guardrails judged on twin-majority cohorts must still drop
+// the aggressive candidate and promote the safe one.
+func TestTwinRolloutGuardrailTrip(t *testing.T) {
+	safe := safePolicy()
+	safe.Name = "safe"
+	hot := aggressivePolicy()
+	hot.Name = "hot"
+	cfg := twinConfig(safe, hot)
+	// Tighter PSI budget than the stock 0.005: twin cohorts approach the
+	// calibrated steady state through the EWMA, so the stage-cumulative mean
+	// lags the target; 0.002 still clears the safe candidate by an order of
+	// magnitude.
+	g := testGuardrails()
+	g.MaxMemPressure = 0.002
+	cfg.Guardrails = g
+	cfg.Plan = []Stage{{Name: "canary", Frac: 0.2, Bake: 6}, {Name: "fleet", Frac: 0.9, Bake: 4}}
+
+	r := New(cfg).Run()
+	if !r.Completed() || r.Promoted != "safe" {
+		t.Fatalf("state=%s promoted=%q, want completed/safe; log:\n%s", r.State, r.Promoted, r.EventLog())
+	}
+	var hotOut CandidateOutcome
+	for _, c := range r.Candidates {
+		if c.Policy == "hot" {
+			hotOut = c
+		}
+	}
+	if !hotOut.Dropped && len(hotOut.ExcludedDevices) == 0 {
+		t.Fatalf("aggressive candidate survived every twin cohort; log:\n%s", r.EventLog())
+	}
+	if hotOut.Tripped == "" {
+		t.Fatalf("dropped candidate records no guardrail")
+	}
+}
+
+// TestPriorOutcomesCarryOver pins campaign chaining: a candidate that
+// tripped out of a device class in one campaign starts the next campaign
+// excluded from that class, and a candidate whose prior exclusions cover
+// the whole fleet starts out of the race.
+func TestPriorOutcomesCarryOver(t *testing.T) {
+	safe := safePolicy()
+	safe.Name = "safe"
+	hot := aggressivePolicy()
+	hot.Name = "hot"
+
+	// Campaign 1: under the stock 0.005 PSI budget the aggressive candidate
+	// trips class F (steady-state psi ~0.006) but holds class C (~0.0036),
+	// so its outcome carries a class-F exclusion.
+	cfg := twinConfig(safe, hot)
+	cfg.Plan = []Stage{{Name: "canary", Frac: 0.2, Bake: 8}, {Name: "fleet", Frac: 0.9, Bake: 4}}
+	r1 := New(cfg).Run()
+	var hotOut CandidateOutcome
+	for _, c := range r1.Candidates {
+		if c.Policy == "hot" {
+			hotOut = c
+		}
+	}
+	if len(hotOut.ExcludedDevices) != 1 || hotOut.ExcludedDevices[0] != "F" {
+		t.Fatalf("campaign 1: hot excluded from %v, want [F]; log:\n%s", hotOut.ExcludedDevices, r1.EventLog())
+	}
+
+	// Campaign 2 threads campaign 1's outcomes in: hot must start excluded
+	// from F (but still racing on C), safe must carry nothing.
+	cfg2 := twinConfig(safe, hot)
+	cfg2.PriorOutcomes = r1.Candidates
+	c2 := New(cfg2)
+	if !c2.cands[1].excluded["F"] {
+		t.Fatalf("prior class-F trip not carried into campaign 2: excluded=%v", c2.cands[1].excludedList())
+	}
+	if c2.cands[1].dropped {
+		t.Fatalf("partially excluded candidate must still race the uncovered classes")
+	}
+	if len(c2.cands[0].excluded) != 0 || c2.cands[0].dropped {
+		t.Fatalf("clean prior outcome contaminated safe: excluded=%v dropped=%v",
+			c2.cands[0].excludedList(), c2.cands[0].dropped)
+	}
+	r2 := c2.Run()
+	if !strings.Contains(r2.EventLog(), "prior campaign exclusions carried in: F") {
+		t.Fatalf("carry-in not recorded in event log:\n%s", r2.EventLog())
+	}
+	for _, h := range r2.Hosts {
+		if h.Device == "F" && h.Policy == "hot" {
+			t.Fatalf("host %d: class-F host ended on the excluded candidate", h.Index)
+		}
+	}
+
+	// A prior that covered every current class drops the candidate at start;
+	// the race runs on without it.
+	cfg3 := twinConfig(safe, hot)
+	cfg3.PriorOutcomes = []CandidateOutcome{
+		{Policy: "hot", Tripped: "psi", Detail: "prior fleet-wide trip", ExcludedDevices: []string{"C", "F"}},
+	}
+	c3 := New(cfg3)
+	if !c3.cands[1].dropped {
+		t.Fatalf("fleet-covering prior exclusions did not drop the candidate at start")
+	}
+	if c3.cands[1].tripped != "psi" {
+		t.Fatalf("prior guardrail attribution lost: tripped=%q", c3.cands[1].tripped)
+	}
+	r3 := c3.Run()
+	if !r3.Completed() || r3.Promoted != "safe" {
+		t.Fatalf("campaign 3 state=%s promoted=%q, want completed/safe; log:\n%s", r3.State, r3.Promoted, r3.EventLog())
+	}
+	if !strings.Contains(r3.EventLog(), "candidate starts dropped") {
+		t.Fatalf("start-drop not recorded in event log:\n%s", r3.EventLog())
+	}
+}
+
+// TestTwinMissingSurfacePanics pins the construction-time check: a twin
+// fleet whose calibration lacks a (device, mode) surface any twin host
+// could be pushed must refuse to build.
+func TestTwinMissingSurfacePanics(t *testing.T) {
+	uncovered := safePolicy()
+	uncovered.Mode = core.ModeSSDSwap // calibration covers zswap only
+	cfg := twinConfig(uncovered)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("New accepted a twin fleet with no surface for ssdswap")
+		}
+		if !strings.Contains(r.(string), "no surface") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	New(cfg)
+}

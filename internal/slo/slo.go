@@ -129,17 +129,20 @@ func (m Monitor) burn(pts []tsdb.Point, n int) float64 {
 		}
 		return m.Budget / mu
 	case Slope:
-		last := pts[len(pts)-1]
+		// A trend needs evidence: with fewer than two samples, or samples
+		// carrying no time spread, there is no slope to project — burn 0
+		// rather than alerting off a single point's level.
+		if len(pts) < 2 {
+			return 0
+		}
+		first, last := pts[0], pts[len(pts)-1]
+		dt := last.T.Sub(first.T).Seconds()
+		if dt <= 0 {
+			return 0
+		}
 		proj := last.V
-		if len(pts) >= 2 {
-			first := pts[0]
-			dt := last.T.Sub(first.T).Seconds()
-			if dt > 0 {
-				slope := (last.V - first.V) / dt
-				if slope > 0 {
-					proj = last.V + slope*m.horizon().Seconds()
-				}
-			}
+		if slope := (last.V - first.V) / dt; slope > 0 {
+			proj = last.V + slope*m.horizon().Seconds()
 		}
 		return proj / m.Budget
 	}

@@ -122,6 +122,70 @@ func TestSlopeProjection(t *testing.T) {
 	}
 }
 
+// TestSlopeDegenerateWindows pins the trend-evidence guard: a Slope monitor
+// must not project — and so must not alert — from a window with fewer than
+// two samples or with no time spread, even when the level sits over budget.
+func TestSlopeDegenerateWindows(t *testing.T) {
+	m := Monitor{Name: "s", Metric: "swap_util", Kind: Slope, Budget: 0.5, Horizon: vclock.Duration(8 * win)}
+	cases := []struct {
+		name string
+		pts  []tsdb.Point
+		n    int
+		want float64
+	}{
+		{name: "empty window", pts: nil, n: 4, want: 0},
+		{
+			name: "single sample over budget",
+			pts:  []tsdb.Point{{T: win, V: 0.9}},
+			n:    4,
+			want: 0,
+		},
+		{
+			name: "fast window trims to one sample",
+			pts:  []tsdb.Point{{T: win, V: 0.1}, {T: 2 * win, V: 0.9}},
+			n:    1,
+			want: 0,
+		},
+		{
+			name: "zero time spread over budget",
+			pts:  []tsdb.Point{{T: win, V: 0.8}, {T: win, V: 0.9}},
+			n:    4,
+			want: 0,
+		},
+		{
+			name: "two samples flat over budget still burn on level",
+			pts:  []tsdb.Point{{T: win, V: 0.6}, {T: 2 * win, V: 0.6}},
+			n:    4,
+			want: 1.2,
+		},
+		{
+			name: "two samples climbing project ahead",
+			pts:  []tsdb.Point{{T: win, V: 0.1}, {T: 2 * win, V: 0.2}}, // +0.1/win, 8-win horizon
+			n:    4,
+			want: 2.0, // (0.2 + 0.8) / 0.5
+		},
+	}
+	for _, tc := range cases {
+		got := m.burn(tc.pts, tc.n)
+		if got < tc.want-1e-9 || got > tc.want+1e-9 {
+			t.Errorf("%s: burn = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+
+	// End to end: a series whose points all land on one instant must stay
+	// quiet through Eval even with the level parked over budget.
+	db := tsdb.New(tsdb.Config{})
+	for i := 0; i < 3; i++ {
+		db.Append(win, "swap_util", nil, 0.9)
+	}
+	ev := &Evaluator{DB: db, Monitors: []Monitor{{
+		Name: "s", Metric: "swap_util", Kind: Slope, Budget: 0.5, Fast: 2, Slow: 4,
+	}}}
+	if got := ev.Eval(win); len(got) != 0 {
+		t.Fatalf("degenerate slope series alerted: %+v", got)
+	}
+}
+
 func TestDisabledAndShortSeries(t *testing.T) {
 	db := tsdb.New(tsdb.Config{})
 	ev := &Evaluator{DB: db, Monitors: []Monitor{

@@ -1,0 +1,232 @@
+package twin
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tmo/internal/core"
+	"tmo/internal/fleet"
+	"tmo/internal/senpai"
+	"tmo/internal/vclock"
+)
+
+// Tolerance bounds how far a twin may drift from its full-fidelity
+// counterpart before the fidelity gate fails. Savings, pressure, and
+// throughput drift are absolute (they are already normalized fractions);
+// fault p99 drift is relative.
+type Tolerance struct {
+	// Savings is the allowed absolute drift in the savings fraction.
+	Savings float64
+	// Pressure is the allowed absolute drift in mean windowed pressure.
+	// It should sit below the PSI guardrail budget, or a drifted twin
+	// could mask (or fake) a trip.
+	Pressure float64
+	// RPSRatio is the allowed absolute drift in the normalized throughput
+	// ratio.
+	RPSRatio float64
+	// FaultP99Frac is the allowed relative drift in fault-stall p99.
+	FaultP99Frac float64
+}
+
+// DefaultTolerance returns the gate's stock budget: savings within 8
+// points (growthy app classes show ~±5 points of seed-to-seed savings
+// spread even in replica means, and the gate must not flake on simulator
+// luck), pressure within 0.002 (well under the 0.005 default PSI
+// guardrail), throughput within 5 points, fault p99 within 50%.
+func DefaultTolerance() Tolerance {
+	return Tolerance{Savings: 0.08, Pressure: 0.002, RPSRatio: 0.05, FaultP99Frac: 0.50}
+}
+
+// Drift is one (device class, mode, probe) twin-vs-full comparison.
+type Drift struct {
+	Device string
+	Mode   string
+	// A is the probe's aggressiveness.
+	A float64
+	// Full and Twin are the two measurements, same protocol, same units.
+	Full fleet.CalibrationSample
+	Twin fleet.CalibrationSample
+	// The drift components the tolerance judges.
+	SavingsDrift  float64
+	PressureDrift float64
+	RPSDrift      float64
+	FaultP99Drift float64 // relative
+}
+
+// Exceeds names the first tolerance the drift violates, or "".
+func (d Drift) Exceeds(tol Tolerance) string {
+	switch {
+	case d.SavingsDrift > tol.Savings:
+		return fmt.Sprintf("savings drift %.4f over %.4f", d.SavingsDrift, tol.Savings)
+	case d.PressureDrift > tol.Pressure:
+		return fmt.Sprintf("pressure drift %.5f over %.5f", d.PressureDrift, tol.Pressure)
+	case d.RPSDrift > tol.RPSRatio:
+		return fmt.Sprintf("rps drift %.4f over %.4f", d.RPSDrift, tol.RPSRatio)
+	case d.FaultP99Drift > tol.FaultP99Frac:
+		return fmt.Sprintf("fault-p99 drift %.2f over %.2f", d.FaultP99Drift, tol.FaultP99Frac)
+	}
+	return ""
+}
+
+// FidelityReport is the gate's verdict over every checked class and probe.
+type FidelityReport struct {
+	Tol  Tolerance
+	Rows []Drift
+}
+
+// Pass reports whether every row is within tolerance.
+func (r FidelityReport) Pass() bool { return len(r.Failures()) == 0 }
+
+// Failures lists the rows exceeding tolerance, rendered.
+func (r FidelityReport) Failures() []string {
+	var out []string
+	for _, d := range r.Rows {
+		if why := d.Exceeds(r.Tol); why != "" {
+			out = append(out, fmt.Sprintf("%s/%s a=%.1f: %s", d.Device, d.Mode, d.A, why))
+		}
+	}
+	return out
+}
+
+// String renders the report as one row per comparison.
+func (r FidelityReport) String() string {
+	var b strings.Builder
+	for _, d := range r.Rows {
+		status := "ok"
+		if why := d.Exceeds(r.Tol); why != "" {
+			status = "FAIL: " + why
+		}
+		fmt.Fprintf(&b, "%-4s %-8s a=%5.1f  savings %6.3f/%6.3f  psi %.5f/%.5f  rps %.3f/%.3f  p99 %7.0f/%7.0f  %s\n",
+			d.Device, d.Mode, d.A,
+			d.Full.Savings, d.Twin.Savings,
+			d.Full.Pressure, d.Twin.Pressure,
+			d.Full.RPSRatio, d.Twin.RPSRatio,
+			d.Full.FaultP99Us, d.Twin.FaultP99Us, status)
+	}
+	return b.String()
+}
+
+// FidelityConfig shapes a gate run. Zero window/geometry values default to
+// the calibration geometry carried by the coefficient set.
+type FidelityConfig struct {
+	// Specs carries one representative spec per device class to check.
+	Specs []fleet.Spec
+	// Modes are the offload modes to check.
+	Modes []core.Mode
+	// Baseline is the warm-up config (must match the rollout baseline the
+	// twins will serve under).
+	Baseline senpai.Config
+	// Probes are the policies to compare at — typically holdout policies
+	// *between* calibration rungs, where interpolation is actually tested.
+	Probes []senpai.Config
+	Window vclock.Duration
+	// WarmWindows/SettleWindows/MeasureWindows default 4/4/6.
+	WarmWindows, SettleWindows, MeasureWindows int
+	// Replicas is how many independently seeded host pairs each comparison
+	// averages over; default 3, matching the calibration default, so the
+	// gate judges calibration drift rather than single-seed luck.
+	Replicas int
+	// Seed offsets the check's hosts away from the calibration hosts, so
+	// the gate never grades the twin against the very runs it was fitted
+	// from.
+	Seed uint64
+	Tol  Tolerance
+}
+
+// CheckFidelity runs the fidelity gate: for every (class, mode, probe) it
+// drives a full-fidelity host and a twin through the identical measurement
+// protocol (fleet.MeasureResponse) and reports the drift of every signal
+// the rollout guardrails judge. A report that fails the gate means the
+// calibration is stale for that class — recalibrate before trusting twin
+// cohort verdicts.
+func CheckFidelity(cs *CoefficientSet, cfg FidelityConfig) FidelityReport {
+	if cfg.Window <= 0 {
+		cfg.Window = cs.Window
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 30 * vclock.Second
+	}
+	if cfg.WarmWindows < 2 {
+		cfg.WarmWindows = 4
+	}
+	if cfg.SettleWindows <= 0 {
+		cfg.SettleWindows = 4
+	}
+	if cfg.MeasureWindows <= 0 {
+		cfg.MeasureWindows = 6
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if (cfg.Tol == Tolerance{}) {
+		cfg.Tol = DefaultTolerance()
+	}
+
+	rep := FidelityReport{Tol: cfg.Tol}
+	base := cfg.Baseline
+	n := 0
+	for _, spec := range cfg.Specs {
+		for _, mode := range cfg.Modes {
+			sur, ok := cs.Lookup(spec.DeviceClass(), mode)
+			if !ok {
+				rep.Rows = append(rep.Rows, Drift{
+					Device: spec.DeviceClass(), Mode: mode.String(),
+					SavingsDrift: math.Inf(1), // no surface: fail loudly
+				})
+				continue
+			}
+			for _, probe := range cfg.Probes {
+				var full, tw fleet.CalibrationSample
+				for r := 0; r < cfg.Replicas; r++ {
+					s := spec
+					s.Mode = mode
+					s.Seed = cfg.Seed + 0xf1de11 + uint64(n)*104729
+					n++
+					bc := base
+					s.Senpai = &bc
+					f := fleet.MeasureResponse(fleet.NewSimHost(s), probe,
+						cfg.Window, cfg.WarmWindows, cfg.SettleWindows, cfg.MeasureWindows)
+					t := fleet.MeasureResponse(NewHost(s, sur, s.Seed^0x7717), probe,
+						cfg.Window, cfg.WarmWindows, cfg.SettleWindows, cfg.MeasureWindows)
+					addSample(&full, f)
+					addSample(&tw, t)
+				}
+				scaleSample(&full, 1/float64(cfg.Replicas))
+				scaleSample(&tw, 1/float64(cfg.Replicas))
+				d := Drift{
+					Device: spec.DeviceClass(), Mode: mode.String(), A: Aggressiveness(probe),
+					Full: full, Twin: tw,
+					SavingsDrift:  math.Abs(full.Savings - tw.Savings),
+					PressureDrift: math.Abs(full.Pressure - tw.Pressure),
+					RPSDrift:      math.Abs(full.RPSRatio - tw.RPSRatio),
+				}
+				if full.FaultP99Us > 0 {
+					d.FaultP99Drift = math.Abs(full.FaultP99Us-tw.FaultP99Us) / full.FaultP99Us
+				} else if tw.FaultP99Us > 0 {
+					d.FaultP99Drift = 1
+				}
+				rep.Rows = append(rep.Rows, d)
+			}
+		}
+	}
+	return rep
+}
+
+func addSample(dst *fleet.CalibrationSample, s fleet.CalibrationSample) {
+	dst.Pressure += s.Pressure
+	dst.RPSRatio += s.RPSRatio
+	dst.Savings += s.Savings
+	dst.FaultP99Us += s.FaultP99Us
+	dst.SwapUtil += s.SwapUtil
+	dst.OOMRate += s.OOMRate
+}
+
+func scaleSample(dst *fleet.CalibrationSample, by float64) {
+	dst.Pressure *= by
+	dst.RPSRatio *= by
+	dst.Savings *= by
+	dst.FaultP99Us *= by
+	dst.SwapUtil *= by
+	dst.OOMRate *= by
+}
