@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all check race bench
+.PHONY: all check race bench bench-check
 
 all: check
 
@@ -24,3 +24,9 @@ race:
 # BENCH_FLAGS=-skip-figures.
 bench:
 	$(GO) run ./cmd/benchjson -out BENCH_core.json $(BENCH_FLAGS)
+
+# Perf regression gate: rerun the benchmark suites into a scratch file and
+# diff against the committed baseline — figure benchmarks fail on a >10%
+# ns/op regression, every benchmark fails on any allocs/op growth.
+bench-check:
+	$(GO) run ./cmd/benchjson -out /tmp/BENCH_fresh.json -compare BENCH_core.json -tolerance 0.10 $(BENCH_FLAGS)

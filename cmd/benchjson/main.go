@@ -9,9 +9,14 @@
 // Usage:
 //
 //	go run ./cmd/benchjson [-out BENCH_core.json] [-figures 1x] [-micro 20000x] [-skip-figures]
+//	go run ./cmd/benchjson -out /tmp/fresh.json -compare BENCH_core.json [-tolerance 0.10]
 //
 // Times are wall-clock measurements and move with the host; allocs/op is
-// deterministic and is the number regressions are gated on.
+// deterministic and is the number regressions are gated on. With -compare,
+// the fresh run is additionally diffed against a committed baseline: any
+// figure benchmark (the root "tmo" package) whose ns/op regressed by more
+// than -tolerance, or any benchmark whose allocs/op grew at all, fails the
+// run with exit status 1 — `make bench-check` wires this into CI.
 package main
 
 import (
@@ -59,7 +64,24 @@ func main() {
 	figures := flag.String("figures", "1x", "benchtime for the root figure benchmarks (each iteration is a full quick-scale experiment)")
 	micro := flag.String("micro", "20000x", "benchtime for the hot-path microbenchmarks")
 	skipFigures := flag.Bool("skip-figures", false, "run only the microbenchmark suites")
+	compare := flag.String("compare", "", "baseline BENCH_core.json to diff the fresh run against; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression for figure benchmarks under -compare")
+	noRun := flag.Bool("no-run", false, "skip running the suites; treat -out as an existing report (for comparing two files)")
 	flag.Parse()
+
+	if *noRun {
+		if *compare == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -no-run requires -compare")
+			os.Exit(2)
+		}
+		fresh, err := loadReport(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		runCompare(fresh, *compare, *tolerance)
+		return
+	}
 
 	suites := []suite{
 		{pkg: "./internal/mm", benchtime: *micro},
@@ -98,6 +120,78 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+
+	if *compare != "" {
+		runCompare(rep, *compare, *tolerance)
+	}
+}
+
+// runCompare diffs fresh against the baseline file and exits nonzero on
+// any regression.
+func runCompare(fresh Report, baselinePath string, tolerance float64) {
+	base, err := loadReport(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if regressions := compareReports(base, fresh, tolerance); len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: no regressions beyond %.0f%% vs %s\n", tolerance*100, baselinePath)
+}
+
+// loadReport reads a previously written BENCH_core.json.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// figurePackage is the root package holding the figure benchmarks — the
+// end-to-end experiment timings the perf gate is about.
+const figurePackage = "tmo"
+
+// compareReports diffs fresh against base. Figure benchmarks gate on
+// ns/op within the wall-clock tolerance; every benchmark gates on
+// allocs/op growing by half an allocation or more — enough to catch a new
+// per-op allocation while ignoring the fractional drift amortised
+// bookkeeping shows across different iteration counts. A benchmark missing
+// from either side is skipped: renames and additions are not regressions,
+// and deletions are caught in review.
+func compareReports(base, fresh Report, tolerance float64) []string {
+	baseline := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Package+"."+b.Name] = b
+	}
+	var regressions []string
+	for _, b := range fresh.Benchmarks {
+		prev, ok := baseline[b.Package+"."+b.Name]
+		if !ok {
+			continue
+		}
+		if b.Package == figurePackage && prev.NsPerOp > 0 {
+			if ratio := b.NsPerOp / prev.NsPerOp; ratio > 1+tolerance {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s %s: %.0f ns/op vs baseline %.0f (%+.1f%%, tolerance %.0f%%)",
+					b.Package, b.Name, b.NsPerOp, prev.NsPerOp, (ratio-1)*100, tolerance*100))
+			}
+		}
+		if b.AllocsPerOp >= prev.AllocsPerOp+0.5 {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s %s: %.2f allocs/op vs baseline %.2f",
+				b.Package, b.Name, b.AllocsPerOp, prev.AllocsPerOp))
+		}
+	}
+	return regressions
 }
 
 // runSuite executes one go test -bench run and parses its output.

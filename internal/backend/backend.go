@@ -70,6 +70,27 @@ type LoadResult struct {
 	BlockIO bool
 }
 
+// StoreReq describes one page of a batched store submission.
+type StoreReq struct {
+	// PageBytes is the page size being offloaded.
+	PageBytes int64
+	// CompressRatio is the content's intrinsic compression ratio
+	// (uncompressed/compressed, >= 1); ignored by uncompressed tiers.
+	CompressRatio float64
+}
+
+// BatchLoadResult describes a completed batched load: one submission
+// covering every page of a swap cluster (the demand page plus its readahead
+// neighbours).
+type BatchLoadResult struct {
+	// Latency is the submission-to-completion time of the whole batch. The
+	// faulting task waits it out; coalesced faulters on the same batch wait
+	// only the remainder.
+	Latency vclock.Duration
+	// BlockIO reports whether any page in the batch performed block IO.
+	BlockIO bool
+}
+
 // Stats is a point-in-time summary of a backend's contents and traffic.
 type Stats struct {
 	StoredPages  int64 // pages currently held
@@ -89,8 +110,26 @@ type SwapBackend interface {
 	// Store offloads one page of pageBytes whose content compresses by
 	// compressRatio (uncompressed/compressed, >= 1).
 	Store(now vclock.Time, pageBytes int64, compressRatio float64) (StoreResult, error)
+	// StoreBatch offloads len(reqs) pages in one submission, filling
+	// out[:n] with per-page results (len(out) must be >= len(reqs)). A
+	// batch stores a prefix: on ErrFull it reports how many pages fit
+	// before the backend ran out of room. Batched tiers pay fixed
+	// per-submission costs once; SerialStoreBatch is the per-page
+	// fallback for backends without a native batch path.
+	StoreBatch(now vclock.Time, reqs []StoreReq, out []StoreResult) (int, error)
 	// Load brings a stored page back to DRAM and releases its space.
 	Load(now vclock.Time, h Handle) LoadResult
+	// LoadBatch brings every page in hs back to DRAM in one submission and
+	// releases their space. An SSD batch pays seek/queue/stall cost once
+	// plus a byte-rate transfer term; zswap batches amortise per-op
+	// overhead across the tail. SerialLoadBatch is the per-page fallback.
+	LoadBatch(now vclock.Time, hs []Handle) BatchLoadResult
+	// DrainWriteback completes asynchronous swap-out writeback due by now
+	// (depth-limited queue draining on the virtual clock). Backends
+	// without a device-side queue treat it as a no-op. The simulator calls
+	// it once per tick; backends also drain lazily on their own
+	// operations, so standalone use without a tick loop stays correct.
+	DrainWriteback(now vclock.Time)
 	// Free releases a stored page without loading it (the owner exited).
 	Free(h Handle)
 	// Stats reports current contents and cumulative traffic.
@@ -104,4 +143,31 @@ type SwapBackend interface {
 	// swap. The memory manager charges this against host capacity, so the
 	// net saving of a zswap'd page is its size minus its compressed size.
 	PoolBytes() int64
+}
+
+// SerialLoadBatch is the default per-page LoadBatch fallback: each page pays
+// its full individual load cost, with no batching benefit. Backends whose
+// per-page loads have no amortisable fixed cost (and external test doubles)
+// implement LoadBatch with it.
+func SerialLoadBatch(s SwapBackend, now vclock.Time, hs []Handle) BatchLoadResult {
+	var res BatchLoadResult
+	for _, h := range hs {
+		r := s.Load(now, h)
+		res.Latency += r.Latency
+		res.BlockIO = res.BlockIO || r.BlockIO
+	}
+	return res
+}
+
+// SerialStoreBatch is the default per-page StoreBatch fallback: pages are
+// stored one at a time until the first ErrFull, whose position is reported.
+func SerialStoreBatch(s SwapBackend, now vclock.Time, reqs []StoreReq, out []StoreResult) (int, error) {
+	for i, req := range reqs {
+		r, err := s.Store(now, req.PageBytes, req.CompressRatio)
+		if err != nil {
+			return i, err
+		}
+		out[i] = r
+	}
+	return len(reqs), nil
 }

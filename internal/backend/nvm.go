@@ -99,6 +99,21 @@ func (n *NVM) Load(now vclock.Time, h Handle) LoadResult {
 	return LoadResult{Latency: n.readLat.Sample(n.rng), BlockIO: false}
 }
 
+// StoreBatch implements SwapBackend via the per-page fallback: NVM stores
+// are byte-copies with no amortisable fixed cost.
+func (n *NVM) StoreBatch(now vclock.Time, reqs []StoreReq, out []StoreResult) (int, error) {
+	return SerialStoreBatch(n, now, reqs, out)
+}
+
+// LoadBatch implements SwapBackend via the per-page fallback: each page move
+// is an independent memory copy.
+func (n *NVM) LoadBatch(now vclock.Time, hs []Handle) BatchLoadResult {
+	return SerialLoadBatch(n, now, hs)
+}
+
+// DrainWriteback implements SwapBackend; NVM stores complete synchronously.
+func (n *NVM) DrainWriteback(vclock.Time) {}
+
 // Free implements SwapBackend.
 func (n *NVM) Free(h Handle) {
 	if bytes, ok := n.pageBytes[h]; ok {

@@ -19,6 +19,11 @@ type DeviceSpec struct {
 	EndurancePTBW float64
 	// ReadIOPS and WriteIOPS are the device's sustained operation ceilings.
 	ReadIOPS, WriteIOPS float64
+	// ReadBWBytesPerSec and WriteBWBytesPerSec are the device's sequential
+	// transfer bandwidths; a batched (clustered) submission pays its fixed
+	// per-op cost once plus bytes/bandwidth. Zero disables the transfer
+	// term (ad-hoc test specs behave as infinitely fast at moving bytes).
+	ReadBWBytesPerSec, WriteBWBytesPerSec float64
 	// ReadMedian/ReadP99 parameterise the read-latency distribution.
 	ReadMedian, ReadP99 vclock.Duration
 	// WriteMedian/WriteP99 parameterise the write-latency distribution.
@@ -32,24 +37,31 @@ type DeviceSpec struct {
 // SSD" of the Fig. 12 experiment.
 var DeviceCatalog = []DeviceSpec{
 	{Model: "A", EndurancePTBW: 1.0, ReadIOPS: 60e3, WriteIOPS: 15e3,
+		ReadBWBytesPerSec: 450e6, WriteBWBytesPerSec: 350e6,
 		ReadMedian: 1800 * vclock.Microsecond, ReadP99: 9300 * vclock.Microsecond,
 		WriteMedian: 2500 * vclock.Microsecond, WriteP99: 12 * vclock.Millisecond},
 	{Model: "B", EndurancePTBW: 1.8, ReadIOPS: 90e3, WriteIOPS: 25e3,
+		ReadBWBytesPerSec: 800e6, WriteBWBytesPerSec: 600e6,
 		ReadMedian: 1100 * vclock.Microsecond, ReadP99: 5200 * vclock.Microsecond,
 		WriteMedian: 1600 * vclock.Microsecond, WriteP99: 8 * vclock.Millisecond},
 	{Model: "C", EndurancePTBW: 3.5, ReadIOPS: 180e3, WriteIOPS: 55e3,
+		ReadBWBytesPerSec: 1.8e9, WriteBWBytesPerSec: 1.2e9,
 		ReadMedian: 160 * vclock.Microsecond, ReadP99: 640 * vclock.Microsecond,
 		WriteMedian: 420 * vclock.Microsecond, WriteP99: 2100 * vclock.Microsecond},
 	{Model: "D", EndurancePTBW: 4.5, ReadIOPS: 260e3, WriteIOPS: 70e3,
+		ReadBWBytesPerSec: 2.2e9, WriteBWBytesPerSec: 1.5e9,
 		ReadMedian: 145 * vclock.Microsecond, ReadP99: 590 * vclock.Microsecond,
 		WriteMedian: 380 * vclock.Microsecond, WriteP99: 1800 * vclock.Microsecond},
 	{Model: "E", EndurancePTBW: 6.0, ReadIOPS: 350e3, WriteIOPS: 90e3,
+		ReadBWBytesPerSec: 2.8e9, WriteBWBytesPerSec: 1.9e9,
 		ReadMedian: 135 * vclock.Microsecond, ReadP99: 540 * vclock.Microsecond,
 		WriteMedian: 340 * vclock.Microsecond, WriteP99: 1400 * vclock.Microsecond},
 	{Model: "F", EndurancePTBW: 8.0, ReadIOPS: 450e3, WriteIOPS: 110e3,
+		ReadBWBytesPerSec: 3.2e9, WriteBWBytesPerSec: 2.2e9,
 		ReadMedian: 125 * vclock.Microsecond, ReadP99: 500 * vclock.Microsecond,
 		WriteMedian: 300 * vclock.Microsecond, WriteP99: 1100 * vclock.Microsecond},
 	{Model: "G", EndurancePTBW: 10.0, ReadIOPS: 550e3, WriteIOPS: 140e3,
+		ReadBWBytesPerSec: 3.5e9, WriteBWBytesPerSec: 2.8e9,
 		ReadMedian: 118 * vclock.Microsecond, ReadP99: 470 * vclock.Microsecond,
 		WriteMedian: 280 * vclock.Microsecond, WriteP99: 900 * vclock.Microsecond},
 }
@@ -102,6 +114,7 @@ type SSDDevice struct {
 	// Registry instruments, nil until EnableTelemetry.
 	telReads, telWrites, telWrittenBytes *telemetry.Counter
 	telReadLat, telWriteLat              *telemetry.Histogram
+	telBatchPages                        *telemetry.Histogram
 }
 
 // SetDegradation scales the device's service times by factor (>= 1) from
@@ -191,22 +204,46 @@ func queueFactor(rate, capacity float64) float64 {
 	return 1 / (1 - rho)
 }
 
+// transferTime converts a payload size into its sequential-transfer cost at
+// the given bandwidth; zero bandwidth disables the term.
+func transferTime(bytes int64, bw float64) vclock.Duration {
+	if bw <= 0 || bytes <= 0 {
+		return 0
+	}
+	return vclock.Duration(float64(bytes) / bw * float64(vclock.Second))
+}
+
 // Read performs one 4KiB-class read and returns its latency.
 func (d *SSDDevice) Read(now vclock.Time) vclock.Duration {
-	d.reads++
+	return d.ReadBatch(now, 1, 4096)
+}
+
+// ReadBatch performs one clustered read submission covering pages pages and
+// bytes payload bytes, and returns its completion latency. A batch is ONE
+// device operation on the IOPS meter — the device sees a single larger
+// sequential read, not pages random 4KiB ones — so it pays the sampled
+// service latency (seek + queueing + degradation + wear) once, plus a
+// bytes/bandwidth transfer term, plus any injected-stall remainder once.
+func (d *SSDDevice) ReadBatch(now vclock.Time, pages int, bytes int64) vclock.Duration {
+	d.reads += int64(pages)
 	d.readMeter.Add(now, 1)
 	f := queueFactor(d.readMeter.Rate(now), d.Spec.ReadIOPS)
 	if d.degradation > 1 {
 		f *= d.degradation
 	}
 	f *= d.wearFactor()
-	lat := vclock.Duration(float64(d.readLat.Sample(d.rng))*f) + d.stallRemainder(now)
+	lat := vclock.Duration(float64(d.readLat.Sample(d.rng))*f) +
+		transferTime(bytes, d.Spec.ReadBWBytesPerSec) +
+		d.stallRemainder(now)
 	if d.readObserver != nil {
 		d.readObserver(lat)
 	}
 	if d.telReads != nil {
-		d.telReads.Inc()
+		d.telReads.Add(int64(pages))
 		d.telReadLat.Record(float64(lat))
+	}
+	if d.telBatchPages != nil {
+		d.telBatchPages.Record(float64(pages))
 	}
 	return lat
 }
@@ -215,20 +252,35 @@ func (d *SSDDevice) Read(now vclock.Time) vclock.Duration {
 // device-side latency. Callers on the reclaim path ignore the latency —
 // swap-out is writeback — but the bytes count against endurance.
 func (d *SSDDevice) Write(now vclock.Time, n int64) vclock.Duration {
-	d.writes++
-	d.writtenBytes += n
+	return d.WriteBatch(now, 1, n)
+}
+
+// WriteBatch performs one clustered write submission of pages pages and
+// bytes payload bytes and returns its device-side latency: one operation on
+// the write-IOPS meter, one sampled service latency scaled by
+// queueing/degradation/wear, plus a bytes/bandwidth transfer term so a
+// 16-page writeback costs more than a single 4KiB page, plus any
+// injected-stall remainder paid once for the whole batch.
+func (d *SSDDevice) WriteBatch(now vclock.Time, pages int, bytes int64) vclock.Duration {
+	d.writes += int64(pages)
+	d.writtenBytes += bytes
 	d.writeMeter.Add(now, 1)
-	d.byteMeter.Add(now, float64(n))
+	d.byteMeter.Add(now, float64(bytes))
 	f := queueFactor(d.writeMeter.Rate(now), d.Spec.WriteIOPS)
 	if d.degradation > 1 {
 		f *= d.degradation
 	}
 	f *= d.wearFactor()
-	lat := vclock.Duration(float64(d.writeLat.Sample(d.rng))*f) + d.stallRemainder(now)
+	lat := vclock.Duration(float64(d.writeLat.Sample(d.rng))*f) +
+		transferTime(bytes, d.Spec.WriteBWBytesPerSec) +
+		d.stallRemainder(now)
 	if d.telWrites != nil {
-		d.telWrites.Inc()
-		d.telWrittenBytes.Add(n)
+		d.telWrites.Add(int64(pages))
+		d.telWrittenBytes.Add(bytes)
 		d.telWriteLat.Record(float64(lat))
+	}
+	if d.telBatchPages != nil {
+		d.telBatchPages.Record(float64(pages))
 	}
 	return lat
 }
@@ -259,7 +311,11 @@ func (d *SSDDevice) EnduranceUsed() float64 {
 	return float64(d.writtenBytes) / ratedBytes
 }
 
-// SSDSwap is a swap partition on an SSDDevice.
+// SSDSwap is a swap partition on an SSDDevice. Swap-out writes go through a
+// depth-limited asynchronous writeback queue (see writeback.go): Store
+// enqueues and returns immediately unless the queue is full, in which case
+// the returned Latency carries the backpressure stall the reclaimer must
+// serve.
 type SSDSwap struct {
 	dev *SSDDevice
 	// capacity is the swap partition size in bytes; 0 means unlimited.
@@ -268,12 +324,31 @@ type SSDSwap struct {
 	pageBytes map[Handle]int64
 	next      Handle
 	stats     Stats
+	wb        *writebackQueue
 }
 
 // NewSSDSwap returns a swap backend over dev with the given partition size
-// in bytes (0 = unbounded).
+// in bytes (0 = unbounded) and the default async writeback queue.
 func NewSSDSwap(dev *SSDDevice, capacity int64) *SSDSwap {
-	return &SSDSwap{dev: dev, capacity: capacity, pageBytes: make(map[Handle]int64)}
+	return &SSDSwap{
+		dev:       dev,
+		capacity:  capacity,
+		pageBytes: make(map[Handle]int64),
+		wb:        newWritebackQueue(dev, WritebackConfig{}),
+	}
+}
+
+// ConfigureWriteback replaces the writeback queue's limits. Pending
+// submissions from the old configuration are issued inline first so no
+// queued write is lost.
+func (s *SSDSwap) ConfigureWriteback(cfg WritebackConfig) {
+	for i := 0; i < s.wb.n; i++ {
+		e := s.wb.ring[(s.wb.head+i)%len(s.wb.ring)]
+		s.dev.WriteBatch(e.ready, e.pages, e.bytes)
+	}
+	nq := newWritebackQueue(s.dev, cfg)
+	nq.telDrained, nq.telStalls, nq.telStallUs = s.wb.telDrained, s.wb.telStalls, s.wb.telStallUs
+	s.wb = nq
 }
 
 // Device exposes the underlying SSD (shared with the filesystem).
@@ -282,19 +357,20 @@ func (s *SSDSwap) Device() *SSDDevice { return s.dev }
 // Capacity returns the partition size in bytes (0 = unbounded).
 func (s *SSDSwap) Capacity() int64 { return s.capacity }
 
+// QueueDepth returns the current async writeback queue depth.
+func (s *SSDSwap) QueueDepth() int { return s.wb.depth() }
+
 // Name implements SwapBackend.
 func (s *SSDSwap) Name() string { return "swap-ssd-" + s.dev.Spec.Model }
 
 // Kind implements SwapBackend.
 func (s *SSDSwap) Kind() Kind { return KindSSD }
 
-// Store implements SwapBackend. Pages are written uncompressed; compression
-// ratio is ignored on the SSD path.
-func (s *SSDSwap) Store(now vclock.Time, pageBytes int64, _ float64) (StoreResult, error) {
+// admit reserves space for one page, recording it under a fresh handle.
+func (s *SSDSwap) admit(pageBytes int64) (Handle, bool) {
 	if s.capacity > 0 && s.stats.StoredBytes+pageBytes > s.capacity {
-		return StoreResult{}, ErrFull
+		return 0, false
 	}
-	s.dev.Write(now, pageBytes)
 	h := s.next
 	s.next++
 	s.pageBytes[h] = pageBytes
@@ -303,19 +379,95 @@ func (s *SSDSwap) Store(now vclock.Time, pageBytes int64, _ float64) (StoreResul
 	s.stats.StoredBytes += pageBytes
 	s.stats.TotalWrites++
 	s.stats.WrittenBytes += pageBytes
-	return StoreResult{Handle: h, StoredBytes: pageBytes, DeviceWrite: pageBytes}, nil
+	return h, true
+}
+
+// submitWriteback hands a store submission to the async queue (or writes
+// inline when the queue is disabled) and returns the reclaimer-visible
+// stall.
+func (s *SSDSwap) submitWriteback(now vclock.Time, pages int, bytes int64) vclock.Duration {
+	if s.wb.cfg.Disabled {
+		s.dev.WriteBatch(now, pages, bytes)
+		return 0
+	}
+	return s.wb.push(now, pages, bytes)
+}
+
+// Store implements SwapBackend. Pages are written uncompressed; compression
+// ratio is ignored on the SSD path. The returned Latency is the writeback
+// queue's backpressure stall — zero while the queue has room.
+func (s *SSDSwap) Store(now vclock.Time, pageBytes int64, _ float64) (StoreResult, error) {
+	h, ok := s.admit(pageBytes)
+	if !ok {
+		return StoreResult{}, ErrFull
+	}
+	stall := s.submitWriteback(now, 1, pageBytes)
+	return StoreResult{Handle: h, StoredBytes: pageBytes, DeviceWrite: pageBytes, Latency: stall}, nil
+}
+
+// StoreBatch implements SwapBackend: the whole batch is one writeback-queue
+// submission (one device write op when it drains). Capacity is checked per
+// page, so on ErrFull the stored prefix still goes out as a single
+// submission. The backpressure stall, if any, is charged to the batch's
+// first page.
+func (s *SSDSwap) StoreBatch(now vclock.Time, reqs []StoreReq, out []StoreResult) (int, error) {
+	n := 0
+	var bytes int64
+	for _, req := range reqs {
+		h, ok := s.admit(req.PageBytes)
+		if !ok {
+			break
+		}
+		out[n] = StoreResult{Handle: h, StoredBytes: req.PageBytes, DeviceWrite: req.PageBytes}
+		bytes += req.PageBytes
+		n++
+	}
+	if n > 0 {
+		out[0].Latency = s.submitWriteback(now, n, bytes)
+	}
+	if n < len(reqs) {
+		return n, ErrFull
+	}
+	return n, nil
 }
 
 // Load implements SwapBackend.
 func (s *SSDSwap) Load(now vclock.Time, h Handle) LoadResult {
+	s.wb.drain(now)
 	n, ok := s.pageBytes[h]
 	if !ok {
 		panic(fmt.Sprintf("backend: load of unknown swap handle %d", h))
 	}
-	lat := s.dev.Read(now)
+	lat := s.dev.ReadBatch(now, 1, n)
 	s.release(h, n)
 	s.stats.TotalReads++
 	return LoadResult{Latency: lat, BlockIO: true}
+}
+
+// LoadBatch implements SwapBackend: the whole cluster is one device read
+// submission, paying the sampled service latency, queue factor, and any
+// injected-stall remainder once, plus the byte-rate transfer term for the
+// full payload.
+func (s *SSDSwap) LoadBatch(now vclock.Time, hs []Handle) BatchLoadResult {
+	s.wb.drain(now)
+	var bytes int64
+	for _, h := range hs {
+		n, ok := s.pageBytes[h]
+		if !ok {
+			panic(fmt.Sprintf("backend: load of unknown swap handle %d", h))
+		}
+		bytes += n
+		s.release(h, n)
+	}
+	s.stats.TotalReads += int64(len(hs))
+	lat := s.dev.ReadBatch(now, len(hs), bytes)
+	return BatchLoadResult{Latency: lat, BlockIO: true}
+}
+
+// DrainWriteback implements SwapBackend: issue queued swap-out writes due by
+// now.
+func (s *SSDSwap) DrainWriteback(now vclock.Time) {
+	s.wb.drain(now)
 }
 
 // Free implements SwapBackend.

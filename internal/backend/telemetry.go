@@ -16,6 +16,18 @@ func (d *SSDDevice) EnableTelemetry(reg *telemetry.Registry) {
 	d.telWrittenBytes = reg.Counter("backend.ssd.written_bytes", dev)
 	d.telReadLat = reg.Histogram("backend.ssd.read_latency_us", dev)
 	d.telWriteLat = reg.Histogram("backend.ssd.write_latency_us", dev)
+	d.telBatchPages = reg.Histogram("backend.ssd.batch_pages", dev)
+}
+
+// EnableTelemetry registers the swap partition's async writeback-queue
+// instruments: current depth, cumulative drained submissions, and the
+// backpressure stalls reclaim served because the queue was full.
+func (s *SSDSwap) EnableTelemetry(reg *telemetry.Registry) {
+	s.wb.telDrained = reg.Counter("backend.wb.drained")
+	s.wb.telStalls = reg.Counter("backend.wb.backpressure_stalls")
+	s.wb.telStallUs = reg.Counter("backend.wb.backpressure_us")
+	reg.GaugeFunc("backend.wb.queue_depth", func() float64 { return float64(s.wb.depth()) })
+	reg.GaugeFunc("backend.wb.queue_high_water", func() float64 { return float64(s.wb.highWater) })
 }
 
 // EnableTelemetry registers the pool's counters, its compression-ratio
@@ -33,6 +45,7 @@ func (z *Zswap) EnableTelemetry(reg *telemetry.Registry) {
 // both tiers.
 func (t *Tiered) EnableTelemetry(reg *telemetry.Registry) {
 	t.warm.EnableTelemetry(reg)
+	t.cold.EnableTelemetry(reg)
 	t.telWritebacks = reg.Counter("backend.tiered.writebacks")
 	t.telDirectSSD = reg.Counter("backend.tiered.direct_ssd")
 	reg.GaugeFunc("backend.tiered.warm_pages", func() float64 { return float64(t.WarmPages()) })

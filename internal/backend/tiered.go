@@ -37,6 +37,10 @@ type Tiered struct {
 	writebacks int64
 	directSSD  int64
 
+	// Scratch partitions for LoadBatch, reused across calls so the batched
+	// fault path stays zero-alloc.
+	warmScratch, coldScratch []Handle
+
 	// Registry instruments and decision log, nil until enabled.
 	telWritebacks, telDirectSSD *telemetry.Counter
 	trace                       *trace.Log
@@ -189,6 +193,47 @@ func (t *Tiered) Load(now vclock.Time, h Handle) LoadResult {
 	}
 	return t.cold.Load(now, e.inner)
 }
+
+// StoreBatch implements SwapBackend via the per-page fallback: each page's
+// placement decision (pool vs direct-SSD, plus LRU writeback to make room)
+// is inherently per-page. The cold tier's own writeback queue still batches
+// the resulting device writes at drain time.
+func (t *Tiered) StoreBatch(now vclock.Time, reqs []StoreReq, out []StoreResult) (int, error) {
+	return SerialStoreBatch(t, now, reqs, out)
+}
+
+// LoadBatch implements SwapBackend: the cluster is partitioned by tier, each
+// tier serves its share as one submission, and the latencies sum — the warm
+// pages decompress while the SSD seeks once for all the cold ones.
+func (t *Tiered) LoadBatch(now vclock.Time, hs []Handle) BatchLoadResult {
+	t.warmScratch = t.warmScratch[:0]
+	t.coldScratch = t.coldScratch[:0]
+	for _, h := range hs {
+		e, ok := t.entries[h]
+		if !ok {
+			panic("backend: load of unknown tiered handle")
+		}
+		delete(t.entries, h)
+		if e.warm {
+			delete(t.inverse, e.inner)
+			t.warmScratch = append(t.warmScratch, e.inner)
+		} else {
+			t.coldScratch = append(t.coldScratch, e.inner)
+		}
+	}
+	var res BatchLoadResult
+	if len(t.warmScratch) > 0 {
+		res.Latency += t.warm.LoadBatch(now, t.warmScratch).Latency
+	}
+	if len(t.coldScratch) > 0 {
+		res.Latency += t.cold.LoadBatch(now, t.coldScratch).Latency
+		res.BlockIO = true
+	}
+	return res
+}
+
+// DrainWriteback implements SwapBackend: only the SSD tier queues writes.
+func (t *Tiered) DrainWriteback(now vclock.Time) { t.cold.DrainWriteback(now) }
 
 // Free implements SwapBackend.
 func (t *Tiered) Free(h Handle) {

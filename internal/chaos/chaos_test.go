@@ -2,9 +2,11 @@ package chaos_test
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
+	"tmo/internal/backend"
 	"tmo/internal/cgroup"
 	"tmo/internal/chaos"
 	"tmo/internal/core"
@@ -26,12 +28,17 @@ const chaosScript = "t=30s ssd-stall 300ms every=60s; " +
 // runScripted runs a chaos-perturbed host for six virtual minutes and
 // returns its telemetry snapshot (Prometheus text) and Chrome trace JSON.
 func runScripted(t *testing.T, seed uint64) (string, string) {
+	return runScriptedWB(t, seed, backend.WritebackConfig{})
+}
+
+func runScriptedWB(t *testing.T, seed uint64, wb backend.WritebackConfig) (string, string) {
 	t.Helper()
 	prof := workload.MustCatalog("feed").Scale(0.5)
 	sys := core.New(core.Options{
 		Mode:          core.ModeSSDSwap,
 		CapacityBytes: 2 * prof.FootprintBytes,
 		Seed:          seed,
+		Writeback:     wb,
 	})
 	sys.AddProfile(prof, cgroup.Workload)
 	if err := sys.Chaos().AddScript(chaosScript); err != nil {
@@ -77,6 +84,62 @@ func TestDeterminism(t *testing.T) {
 	if tr1 == tr3 {
 		t.Error("different seeds produced identical traces")
 	}
+}
+
+// TestDeterminismWithWritebackQueue: the async writeback queue is on the
+// deterministic path — a constrained queue under the full chaos script
+// (including recurring ssd-stalls that gate its drain schedule) still
+// yields byte-identical runs, and the queue's limits genuinely perturb the
+// simulation relative to inline writeback.
+func TestDeterminismWithWritebackQueue(t *testing.T) {
+	wb := backend.WritebackConfig{Depth: 4, MaxIOPS: 2000, MaxBytesPerSec: 50e6}
+	met1, tr1 := runScriptedWB(t, 7, wb)
+	met2, tr2 := runScriptedWB(t, 7, wb)
+	if met1 != met2 {
+		t.Errorf("telemetry snapshots differ across identical queued runs:\n%s", firstDiffLine(met1, met2))
+	}
+	if tr1 != tr2 {
+		t.Errorf("Chrome traces differ across identical queued runs:\n%s", firstDiffLine(tr1, tr2))
+	}
+	metInline, _ := runScriptedWB(t, 7, backend.WritebackConfig{Disabled: true})
+	if met1 == metInline {
+		t.Error("constrained writeback queue left telemetry identical to inline writeback")
+	}
+}
+
+// TestChaosStallBacksUpWritebackQueue: an injected device stall must
+// propagate through the writeback queue as reclaim-side backpressure, and
+// queued stores must still drain on the virtual clock.
+func TestChaosStallBacksUpWritebackQueue(t *testing.T) {
+	met, _ := runScriptedWB(t, 7, backend.WritebackConfig{Depth: 2, MaxIOPS: 500})
+	for _, want := range []string{"backend_wb_drained", "backend_wb_backpressure_stalls"} {
+		if !strings.Contains(met, want) {
+			t.Fatalf("telemetry snapshot missing %q", want)
+		}
+	}
+	if v := metricValue(t, met, "backend_wb_drained"); v <= 0 {
+		t.Errorf("writeback queue drained %v submissions, want > 0", v)
+	}
+	if v := metricValue(t, met, "backend_wb_backpressure_stalls"); v <= 0 {
+		t.Errorf("tight queue under chaos stalls recorded %v backpressure stalls, want > 0", v)
+	}
+}
+
+// metricValue extracts a bare (unlabelled) metric's value from a
+// Prometheus text dump.
+func metricValue(t *testing.T, dump, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(dump, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(line, name+" %g", &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
 }
 
 // TestChaosObservability: injected events surface in both the telemetry

@@ -134,6 +134,11 @@ type Options struct {
 	NCPU int
 	// SwapReadahead is the kernel swap-readahead depth; zero disables.
 	SwapReadahead int
+	// Writeback bounds the SSD swap partition's async writeback queue
+	// (depth, IOPS, byte-rate caps); the zero value selects the default
+	// depth-64 queue with device-derived rates. Ignored by modes without
+	// an SSD swap tier.
+	Writeback backend.WritebackConfig
 	// Seed derives all of the system's random streams.
 	Seed uint64
 }
@@ -227,6 +232,10 @@ func New(opts Options) *System {
 		swap = sys.NVM
 	}
 
+	if sys.SSDSwap != nil {
+		sys.SSDSwap.ConfigureWriteback(opts.Writeback)
+	}
+
 	sys.Server = sim.NewServer(sim.Config{
 		CapacityBytes: opts.CapacityBytes,
 		TickLen:       opts.TickLen,
@@ -266,10 +275,14 @@ func (s *System) wireTelemetry() {
 	mgr.SetTrace(s.Trace)
 	s.Server.EnableTelemetry(reg)
 	s.Device.EnableTelemetry(reg)
-	if s.Zswap != nil {
+	if s.Zswap != nil && s.Tiered == nil {
 		s.Zswap.EnableTelemetry(reg)
 	}
+	if s.SSDSwap != nil && s.Tiered == nil {
+		s.SSDSwap.EnableTelemetry(reg)
+	}
 	if s.Tiered != nil {
+		// The hierarchy wires both inner tiers itself.
 		s.Tiered.EnableTelemetry(reg)
 		s.Tiered.SetTrace(s.Trace)
 	}

@@ -93,6 +93,21 @@ type Manager struct {
 	// reclaim), so a single buffer per manager is safe.
 	scratchGroups []*Group
 
+	// Batched swap-in scratch: the fault path gathers the demand page's
+	// handle plus its eligible cluster neighbours here and submits them as
+	// one LoadBatch. Reused across faults so the batched path allocates
+	// nothing in steady state.
+	batchHandles []backend.Handle
+	batchPages   []*Page
+
+	// Batched swap-out scratch: reclaim gathers up to a swap cluster of
+	// anon victims, then flushes them as one StoreBatch. Fixed arrays keep
+	// the reclaim loop allocation-free.
+	storeVictims  [swapClusterSize]*Page
+	storeReqs     [swapClusterSize]backend.StoreReq
+	storeRes      [swapClusterSize]backend.StoreResult
+	nStoreVictims int
+
 	// readaheadIn counts pages loaded by readahead rather than faults.
 	readaheadIn int64
 
@@ -164,34 +179,50 @@ func (m *Manager) dropFromCluster(p *Page) {
 		return
 	}
 	cl.remove(p)
-	if cl.n == 0 && cl != m.curCluster {
-		m.freeClusters = append(m.freeClusters, cl)
+	if cl.n == 0 {
+		if cl == m.curCluster {
+			// The fill cluster emptied in place (every member faulted or
+			// was freed). Reset its slot count so the next swap-out starts
+			// a fresh cluster in the same object instead of rotating to a
+			// new allocation and leaking this one.
+			m.curClusterSlots = 0
+		} else {
+			m.freeClusters = append(m.freeClusters, cl)
+		}
 	}
 }
 
-// readahead loads up to SwapReadahead still-offloaded members of the
-// faulting page's cluster cl (the page itself has already left it). The
-// neighbours ride the faulting page's cluster IO: they arrive unreferenced
-// at the inactive head and are not charged to the faulting task's stall.
-// Readahead is opportunistic: a neighbour whose charge would push any group
-// in its ancestry over its effective memory.max is skipped rather than
+// gatherReadahead selects up to SwapReadahead still-offloaded members of the
+// faulting page's cluster cl (the page itself has already left it) and
+// appends their handles to the pending batch in m.batchHandles/m.batchPages.
+// The neighbours ride the faulting page's cluster IO: they are inserted
+// unreferenced at the inactive head immediately — the batch is one device
+// submission, so their cost is the batch's, already charged to the faulting
+// task — with pendingUntil stamped by the caller once the batch latency is
+// known. Readahead is opportunistic: a neighbour whose charge would push any
+// group in its ancestry over its effective memory.max is skipped rather than
 // charged over the limit — mistaken readahead must never cause reclaim or
 // OOM pressure of its own.
-func (m *Manager) readahead(now vclock.Time, cl *swapCluster) {
+func (m *Manager) gatherReadahead(cl *swapCluster) {
 	if m.cfg.SwapReadahead <= 0 || cl == nil {
 		return
 	}
 	loaded := 0
 	for q := cl.head; q != nil && loaded < m.cfg.SwapReadahead; {
 		next := q.clusterNext
-		if q.group.overLimitAncestor(m.cfg.PageSize) != nil {
+		// The gather runs before the demand page itself is charged, so a
+		// neighbour is eligible only if its ancestry has room for the
+		// neighbour AND the demand charge still to come — readahead must
+		// never consume the last page of headroom under memory.max.
+		if q.group.overLimitAncestor(2*m.cfg.PageSize) != nil {
 			if m.tel != nil {
 				m.tel.readaheadSkips.Inc()
 			}
 			q = next
 			continue
 		}
-		m.cfg.Swap.Load(now, backend.Handle(q.handle))
+		m.batchHandles = append(m.batchHandles, backend.Handle(q.handle))
+		m.batchPages = append(m.batchPages, q)
 		m.dropFromCluster(q)
 		q.group.swappedPages--
 		q.state = Resident
@@ -343,6 +374,9 @@ type TouchResult struct {
 	DirectReclaimStall vclock.Duration
 	// Classification of the fault, when Fault is set.
 	SwapIn, Refault, ColdRead, ZeroFill bool
+	// Coalesced marks a swap-in served by a batch already in flight: the
+	// task waited out the batch's remainder rather than issuing a load.
+	Coalesced bool
 }
 
 // TotalStall returns the task's total wait for this access.
@@ -383,6 +417,25 @@ func (m *Manager) touch(now vclock.Time, p *Page) TouchResult {
 	g := p.group
 	switch p.state {
 	case Resident:
+		if p.pendingUntil > now {
+			// The page is still in flight on a batched load another fault
+			// submitted: coalesce onto that batch. The task waits out the
+			// remainder instead of issuing a duplicate load.
+			remainder := p.pendingUntil.Sub(now)
+			ioStall := p.pendingIO
+			p.pendingUntil, p.pendingIO = 0, false
+			m.markAccessed(p)
+			p.lastTouch, p.touched = now, true
+			g.noteCost(now, Anon)
+			return TouchResult{
+				Fault:     true,
+				SwapIn:    true,
+				Coalesced: true,
+				Latency:   remainder,
+				MemStall:  true,
+				IOStall:   ioStall,
+			}
+		}
 		m.markAccessed(p)
 		p.lastTouch, p.touched = now, true
 		return TouchResult{}
@@ -403,26 +456,38 @@ func (m *Manager) touch(now vclock.Time, p *Page) TouchResult {
 		return res
 
 	case Offloaded:
-		load := m.cfg.Swap.Load(now, backend.Handle(p.handle))
-		if m.swapExhausted {
-			// Space was just released; allow anon scanning again.
-			m.swapExhausted = false
-		}
-		g.stat.SwapIns++
-		g.swappedPages--
-		g.noteCost(now, Anon)
 		cl := p.cluster
 		m.dropFromCluster(p)
 		if cl != nil && cl.n == 0 {
 			// The fault emptied its cluster, and dropFromCluster has
-			// already recycled it onto freeClusters — where the direct
-			// reclaim tryCharge may trigger below can pop it and refill
-			// it with freshly evicted pages. Readahead keyed on the stale
-			// pointer would walk those pages and swap them straight back
-			// in, undoing the reclaim. An empty cluster has no neighbours
-			// to read ahead anyway, so forget it before charging.
+			// already recycled it (onto freeClusters, or reset in place if
+			// it was the fill cluster). An empty cluster has no neighbours
+			// to read ahead, so forget the stale pointer.
 			cl = nil
 		}
+		// Gather the whole cluster — demand page plus eligible readahead
+		// neighbours — and submit it as ONE batched load: the device pays
+		// its fixed per-submission cost once, and the neighbour reads no
+		// longer land as free extra ops on the read meter (which used to
+		// inflate the queue factor for the very next demand fault).
+		m.batchHandles = append(m.batchHandles[:0], backend.Handle(p.handle))
+		m.batchPages = m.batchPages[:0]
+		m.gatherReadahead(cl)
+		load := m.cfg.Swap.LoadBatch(now, m.batchHandles)
+		if m.swapExhausted {
+			// Space was just released; allow anon scanning again.
+			m.swapExhausted = false
+		}
+		// Neighbours become Resident at batch completion: a touch before
+		// then coalesces onto this batch and waits out the remainder.
+		arrival := now.Add(load.Latency)
+		for _, q := range m.batchPages {
+			q.pendingUntil = arrival
+			q.pendingIO = load.BlockIO
+		}
+		g.stat.SwapIns++
+		g.swappedPages--
+		g.noteCost(now, Anon)
 		res := TouchResult{
 			Fault:    true,
 			SwapIn:   true,
@@ -432,7 +497,6 @@ func (m *Manager) touch(now vclock.Time, p *Page) TouchResult {
 		}
 		res.DirectReclaimStall = m.tryCharge(now, g)
 		m.makeResident(now, p)
-		m.readahead(now, cl)
 		return res
 
 	case EvictedFile:
@@ -492,6 +556,7 @@ func (m *Manager) makeResident(now vclock.Time, p *Page) {
 	p.state = Resident
 	p.active = false
 	p.referenced = true
+	p.pendingUntil, p.pendingIO = 0, false
 	p.lastTouch, p.touched = now, true
 	g.lists[p.Type][0].pushHead(p)
 	g.residentPages[p.Type]++
@@ -560,6 +625,7 @@ func (m *Manager) FreePages(pages []*Page) {
 		p.active, p.referenced, p.hasShadow = false, false, false
 		p.dirty = false
 		p.touched = false
+		p.pendingUntil, p.pendingIO = 0, false
 	}
 }
 

@@ -107,6 +107,15 @@ type Page struct {
 	cluster                  *swapCluster
 	clusterNext, clusterPrev *Page
 
+	// pendingUntil, when in the future, is the completion time of the
+	// batched load that is bringing this page in: readahead inserts cluster
+	// neighbours as Resident the moment the batch is submitted, and a touch
+	// before the batch lands is a coalesced fault that waits out the
+	// remainder instead of issuing a duplicate load. pendingIO records
+	// whether that batch performed block IO, for pressure classification.
+	pendingUntil vclock.Time
+	pendingIO    bool
+
 	// shadow is the group eviction counter recorded when this file page
 	// was evicted; valid while hasShadow is set.
 	shadow    uint64

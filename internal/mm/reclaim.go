@@ -232,7 +232,7 @@ func (m *Manager) shrinkGroup(now vclock.Time, g *Group, want int64) ReclaimResu
 	scanLimit := target*maxScanFactor + refs + scanBatch
 	var reclaimed, writebacks int64
 
-	for reclaimed < target && res.ScannedPages < scanLimit {
+	for reclaimed+int64(m.nStoreVictims) < target && res.ScannedPages < scanLimit {
 		t, ok := m.pickScanType(now, g)
 		if !ok {
 			break
@@ -285,26 +285,20 @@ func (m *Manager) shrinkGroup(now vclock.Time, g *Group, want int64) ReclaimResu
 		}
 
 		if t == Anon {
-			store, err := m.cfg.Swap.Store(now, m.cfg.PageSize, p.Compressibility)
-			if err != nil {
-				if errors.Is(err, backend.ErrFull) {
-					m.swapExhausted = true
-					res.SwapFull = true
-					m.noteSwapReject(now, g)
-					inactive.rotate(p)
-					continue
-				}
-				panic("mm: unexpected swap store error: " + err.Error())
-			}
+			// Gather the victim; victims flush as one batched store per
+			// swap cluster, so the device sees clustered submissions and
+			// the queue/backpressure cost is paid once per batch.
 			inactive.remove(p)
-			p.state = Offloaded
-			p.handle = uint64(store.Handle)
-			g.residentPages[Anon]--
-			g.charge(-m.cfg.PageSize)
-			g.swappedPages++
-			m.noteSwapOut(p)
-			res.StallTime += store.Latency
-			res.ReclaimedAnon++
+			m.storeVictims[m.nStoreVictims] = p
+			m.storeReqs[m.nStoreVictims] = backend.StoreReq{
+				PageBytes:     m.cfg.PageSize,
+				CompressRatio: p.Compressibility,
+			}
+			m.nStoreVictims++
+			if m.nStoreVictims == swapClusterSize {
+				reclaimed += m.flushSwapOuts(now, g, &res)
+			}
+			continue
 		} else {
 			inactive.remove(p)
 			// A dirty page must be written back before it can be
@@ -326,10 +320,52 @@ func (m *Manager) shrinkGroup(now vclock.Time, g *Group, want int64) ReclaimResu
 		}
 		reclaimed++
 	}
+	reclaimed += m.flushSwapOuts(now, g, &res)
 	res.ReclaimedBytes = reclaimed * m.cfg.PageSize
 	res.StallTime += vclock.Duration(res.ScannedPages) * m.cfg.ScanCPUPerPage
 	m.noteShrink(g, res, writebacks)
 	return res
+}
+
+// flushSwapOuts submits the gathered anon victims as one batched store and
+// applies the Offloaded transition to the stored prefix, returning how many
+// pages were reclaimed. Any backpressure stall from the writeback queue
+// arrives in the batch's first StoreResult and lands on the run's StallTime,
+// so a full queue throttles reclaim and feeds PSI. Pages the backend had no
+// room for return to the inactive head and the swap-exhausted latch trips,
+// stopping further anon scanning until space frees.
+func (m *Manager) flushSwapOuts(now vclock.Time, g *Group, res *ReclaimResult) int64 {
+	n := m.nStoreVictims
+	if n == 0 {
+		return 0
+	}
+	m.nStoreVictims = 0
+	stored, err := m.cfg.Swap.StoreBatch(now, m.storeReqs[:n], m.storeRes[:n])
+	for i := 0; i < stored; i++ {
+		p := m.storeVictims[i]
+		r := m.storeRes[i]
+		p.state = Offloaded
+		p.handle = uint64(r.Handle)
+		p.group.residentPages[Anon]--
+		p.group.charge(-m.cfg.PageSize)
+		p.group.swappedPages++
+		m.noteSwapOut(p)
+		res.StallTime += r.Latency
+		res.ReclaimedAnon++
+	}
+	if err != nil {
+		if !errors.Is(err, backend.ErrFull) {
+			panic("mm: unexpected swap store error: " + err.Error())
+		}
+		for i := stored; i < n; i++ {
+			p := m.storeVictims[i]
+			p.group.lists[Anon][0].pushHead(p)
+		}
+		m.swapExhausted = true
+		res.SwapFull = true
+		m.noteSwapReject(now, g)
+	}
+	return int64(stored)
 }
 
 // noteShrink folds one shrink run's per-page event counts into the group's

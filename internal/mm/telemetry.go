@@ -10,21 +10,22 @@ import (
 // EnableTelemetry so the hot paths pay a nil check and an atomic add, never a
 // registry lookup.
 type counters struct {
-	pagesScanned   *telemetry.Counter
-	swapIns        *telemetry.Counter
-	swapOuts       *telemetry.Counter
-	refaults       *telemetry.Counter
-	activations    *telemetry.Counter
-	coldFileReads  *telemetry.Counter
-	fileEvictions  *telemetry.Counter
-	fileWritebacks *telemetry.Counter
-	directReclaims *telemetry.Counter
-	oomEvents      *telemetry.Counter
-	swapRejects    *telemetry.Counter
-	readaheadIns   *telemetry.Counter
-	readaheadSkips *telemetry.Counter
-	zeroFills      *telemetry.Counter
-	faultLatency   *telemetry.Histogram
+	pagesScanned    *telemetry.Counter
+	swapIns         *telemetry.Counter
+	swapOuts        *telemetry.Counter
+	refaults        *telemetry.Counter
+	activations     *telemetry.Counter
+	coldFileReads   *telemetry.Counter
+	fileEvictions   *telemetry.Counter
+	fileWritebacks  *telemetry.Counter
+	directReclaims  *telemetry.Counter
+	oomEvents       *telemetry.Counter
+	swapRejects     *telemetry.Counter
+	readaheadIns    *telemetry.Counter
+	readaheadSkips  *telemetry.Counter
+	zeroFills       *telemetry.Counter
+	coalescedFaults *telemetry.Counter
+	faultLatency    *telemetry.Histogram
 }
 
 // EnableTelemetry registers the memory manager's instruments with reg and
@@ -32,21 +33,22 @@ type counters struct {
 // memory.stat / vmstat vocabulary.
 func (m *Manager) EnableTelemetry(reg *telemetry.Registry) {
 	m.tel = &counters{
-		pagesScanned:   reg.Counter("mm.pages_scanned"),
-		swapIns:        reg.Counter("mm.swap_ins"),
-		swapOuts:       reg.Counter("mm.swap_outs"),
-		refaults:       reg.Counter("mm.refaults"),
-		activations:    reg.Counter("mm.activations"),
-		coldFileReads:  reg.Counter("mm.cold_file_reads"),
-		fileEvictions:  reg.Counter("mm.file_evictions"),
-		fileWritebacks: reg.Counter("mm.file_writebacks"),
-		directReclaims: reg.Counter("mm.direct_reclaims"),
-		oomEvents:      reg.Counter("mm.oom_events"),
-		swapRejects:    reg.Counter("mm.swap_rejects"),
-		readaheadIns:   reg.Counter("mm.readahead_ins"),
-		readaheadSkips: reg.Counter("mm.readahead_skips"),
-		zeroFills:      reg.Counter("mm.zero_fills"),
-		faultLatency:   reg.Histogram("mm.fault_latency_us"),
+		pagesScanned:    reg.Counter("mm.pages_scanned"),
+		swapIns:         reg.Counter("mm.swap_ins"),
+		swapOuts:        reg.Counter("mm.swap_outs"),
+		refaults:        reg.Counter("mm.refaults"),
+		activations:     reg.Counter("mm.activations"),
+		coldFileReads:   reg.Counter("mm.cold_file_reads"),
+		fileEvictions:   reg.Counter("mm.file_evictions"),
+		fileWritebacks:  reg.Counter("mm.file_writebacks"),
+		directReclaims:  reg.Counter("mm.direct_reclaims"),
+		oomEvents:       reg.Counter("mm.oom_events"),
+		swapRejects:     reg.Counter("mm.swap_rejects"),
+		readaheadIns:    reg.Counter("mm.readahead_ins"),
+		readaheadSkips:  reg.Counter("mm.readahead_skips"),
+		zeroFills:       reg.Counter("mm.zero_fills"),
+		coalescedFaults: reg.Counter("mm.fault_coalesced"),
+		faultLatency:    reg.Histogram("mm.fault_latency_us"),
 	}
 }
 
@@ -60,6 +62,8 @@ func (m *Manager) noteFault(now vclock.Time, g *Group, res TouchResult) {
 	if m.tel != nil {
 		m.tel.faultLatency.Record(float64(res.TotalStall()))
 		switch {
+		case res.Coalesced:
+			m.tel.coalescedFaults.Inc()
 		case res.SwapIn:
 			m.tel.swapIns.Inc()
 		case res.Refault:

@@ -8,7 +8,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"tmo/internal/backend"
@@ -65,6 +65,10 @@ type Server struct {
 	lastResults map[*workload.App]workload.TickResult
 	lastAvgTime vclock.Time
 	ticks       int64
+
+	// events is the per-tick PSI transition buffer, reused across ticks so
+	// the steady-state tick loop performs no event allocations.
+	events []stallEvent
 
 	// Registry instruments, nil until EnableTelemetry.
 	telTicks            *telemetry.Counter
@@ -213,6 +217,13 @@ func (s *Server) step() {
 		fn(now)
 	}
 
+	// Issue asynchronous swap-out writeback due by now, so queued writes
+	// land on the device meters at their scheduled drain times even when no
+	// backend operation happens to trigger a lazy drain.
+	if s.cfg.Swap != nil {
+		s.cfg.Swap.DrainWriteback(now)
+	}
+
 	// Self-throttling apps read host headroom at tick start.
 	host := s.mgr.HostStat()
 	freeFrac := float64(host.FreeBytes) / float64(host.CapacityBytes)
@@ -244,7 +255,7 @@ func (s *Server) step() {
 	}
 
 	// Serve the tick and gather stall intervals from all apps.
-	var events []stallEvent
+	events := s.events[:0]
 	for _, a := range s.apps {
 		res := a.Tick(now, tick)
 		s.lastResults[a] = res
@@ -267,12 +278,23 @@ func (s *Server) step() {
 	// Apply PSI transitions in global time order; at equal instants, stall
 	// ends are applied before starts so per-group stall counts never
 	// transiently exceed task counts.
-	sort.SliceStable(events, func(i, j int) bool {
-		if events[i].at != events[j].at {
-			return events[i].at < events[j].at
+	slices.SortStableFunc(events, func(a, b stallEvent) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
 		}
-		return !events[i].start && events[j].start
+		switch {
+		case a.start == b.start:
+			return 0
+		case !a.start:
+			return -1
+		default:
+			return 1
+		}
 	})
+	s.events = events
 	for _, e := range events {
 		if e.start {
 			if e.mem {
