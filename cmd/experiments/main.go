@@ -69,6 +69,8 @@ func main() {
 		{"rollout", func() experiments.Result { return experiments.RolloutScorecard(cfg) }},
 		{"policy", func() experiments.Result { return experiments.PolicyScorecard(cfg) }},
 		{"twinscale", func() experiments.Result { return experiments.TwinScaleScorecard(cfg) }},
+		{"placement", func() experiments.Result { return experiments.PlacementScorecard(cfg) }},
+		{"abl-batch", func() experiments.Result { return experiments.AblationBatch(cfg) }},
 	}
 
 	ran := 0

@@ -24,6 +24,7 @@ import (
 	"tmo/cmd/internal/cliutil"
 	"tmo/internal/cgroup"
 	"tmo/internal/core"
+	"tmo/internal/place"
 	"tmo/internal/psi"
 	"tmo/internal/telemetry"
 	"tmo/internal/tsdb"
@@ -37,6 +38,8 @@ func main() {
 	modeStr := flag.String("mode", "zswap", "offload mode: off, file-only, zswap, ssd, tiered, nvm, cxl")
 	durStr := flag.String("duration", "30m", "virtual time to simulate")
 	capMiB := flag.Int64("capacity", 0, "host DRAM in MiB (0 = 2x app footprint)")
+	cxlMiB := flag.Int64("cxl-bytes", 0, "CXL far-node size in MiB for -mode cxl (0 = DRAM-sized)")
+	interleave := flag.Float64("place-interleave", 0, "static interleave: place this fraction of new pages far and disable migration (0 = TPP loop)")
 	device := flag.String("device", "C", "host SSD model (A-G)")
 	reportStr := flag.String("report", "2m", "reporting interval (virtual time)")
 	withTax := flag.Bool("tax", false, "co-schedule tax sidecar containers")
@@ -73,10 +76,16 @@ func main() {
 		capacity = 2 * prof.FootprintBytes
 	}
 
+	var placement *place.Config
+	if *interleave > 0 {
+		placement = &place.Config{InterleaveFrac: *interleave}
+	}
 	sys := core.New(core.Options{
 		Mode:          mode,
 		CapacityBytes: capacity,
+		CXLBytes:      *cxlMiB * workload.MiB,
 		DeviceModel:   *device,
+		Placement:     placement,
 		Seed:          *seed,
 	})
 	app := sys.AddProfile(prof, cgroup.Workload)
@@ -168,6 +177,12 @@ func main() {
 		float64(m.DeviceWrittenBytes)/workload.MiB, m.OOMEvents)
 	fmt.Printf("request latency: p50 %v, p99 %v\n",
 		app.RequestLatencyQuantile(0.50), app.RequestLatencyQuantile(0.99))
+	if sys.Place != nil {
+		st := sys.Place.Stats()
+		fmt.Printf("placement: %.1f MiB far, %d promotions, %d aborts (%v stall), %.1f MiB demoted\n",
+			float64(m.FarBytes)/workload.MiB, st.Promotions, st.Aborts(), st.AbortStall,
+			float64(st.DemotedBytes)/workload.MiB)
+	}
 
 	if *controls {
 		fmt.Println("\ncgroup control files for", app.Group.Path())

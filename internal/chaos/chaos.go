@@ -111,6 +111,9 @@ type Host struct {
 	Manager *mm.Manager
 	// Swap is the offload backend (swap-fill faults).
 	Swap backend.SwapBackend
+	// CXL is the byte-addressable far-memory node (link-degradation and
+	// link-stall faults).
+	CXL *backend.CXLNode
 	// SwapCapacityBytes is the backend's total capacity, used to size
 	// swap-fill targets; zero disables swap-fill.
 	SwapCapacityBytes int64
@@ -292,6 +295,31 @@ func (e *Engine) SSDStall(d vclock.Duration) Fault {
 	return FaultFunc("ssd-stall", func(now vclock.Time, level float64) {
 		if level > 0 {
 			dev.InjectStall(now, d)
+		}
+	})
+}
+
+// CXLDegrade returns a fault scaling the far-memory link's access and
+// migration latencies up to factor (>= 1) at full strength — link
+// retraining, a congested switch, or a flaky retimer on the CXL path.
+func (e *Engine) CXLDegrade(factor float64) Fault {
+	if factor < 1 {
+		factor = 1
+	}
+	n := e.host.CXL
+	return FaultFunc("cxl-degrade", func(now vclock.Time, level float64) {
+		n.SetLinkDegradation(1 + level*(factor-1))
+	})
+}
+
+// CXLStall returns a fault freezing the far-memory link for d on each
+// activation — a link-level recovery event. Migrations in flight across the
+// stall window are aborted by the placement loop rather than charged.
+func (e *Engine) CXLStall(d vclock.Duration) Fault {
+	n := e.host.CXL
+	return FaultFunc("cxl-stall", func(now vclock.Time, level float64) {
+		if level > 0 {
+			n.InjectLinkStall(now, d)
 		}
 	})
 }

@@ -21,6 +21,8 @@ import (
 //	ssd-slow x<factor>   scale SSD service times (x4 = 4x slower)
 //	ssd-wear <frac>      drain <frac> of the device's rated pTBW budget
 //	ssd-stall <dur>      freeze the device for <dur> per activation
+//	cxl-degrade x<factor> scale CXL link latencies (x4 = 4x slower)
+//	cxl-stall <dur>      freeze the CXL link for <dur> per activation
 //	compress x<factor>   scale page compressibility (x0.5 = half as compressible)
 //	load x<factor>       scale per-request memory demand (x2 = surge, x0.5 = lull)
 //	bloat <size>         grow cold sidecar memory (64MiB, 1GiB, ...)
@@ -132,6 +134,24 @@ func (e *Engine) buildFault(name, arg, appName string) (Fault, error) {
 			return nil, err
 		}
 		return e.SSDStall(d), nil
+	case "cxl-degrade":
+		factor, err := parseFactor(arg)
+		if err != nil {
+			return nil, err
+		}
+		if e.host.CXL == nil {
+			return nil, errors.New("cxl-degrade requires a far-memory node")
+		}
+		return e.CXLDegrade(factor), nil
+	case "cxl-stall":
+		d, err := parseDur(arg)
+		if err != nil {
+			return nil, err
+		}
+		if e.host.CXL == nil {
+			return nil, errors.New("cxl-stall requires a far-memory node")
+		}
+		return e.CXLStall(d), nil
 	case "compress":
 		factor, err := parseFactor(arg)
 		if err != nil {

@@ -16,6 +16,7 @@ import (
 	"tmo/internal/cgroup"
 	"tmo/internal/chaos"
 	"tmo/internal/mm"
+	"tmo/internal/place"
 	"tmo/internal/psi"
 	"tmo/internal/senpai"
 	"tmo/internal/sim"
@@ -48,8 +49,11 @@ const (
 	// ModeNVM offloads to byte-addressable persistent memory (§2.5's
 	// "upcoming NVM devices").
 	ModeNVM
-	// ModeCXL offloads to CXL-attached memory (§2.5's emerging non-DDR
-	// bus technologies).
+	// ModeCXL places memory on a byte-addressable CXL far-memory node
+	// (§2.5's emerging non-DDR bus technologies): cold pages stay *mapped*
+	// at link latency instead of faulting, a TPP-style placement loop
+	// promotes hot far pages back to local DRAM, and SSD swap remains
+	// underneath as the third rung.
 	ModeCXL
 )
 
@@ -129,6 +133,14 @@ type Options struct {
 	ZswapPoolFrac float64
 	// SwapBytes sizes the SSD swap partition; default 4x DRAM.
 	SwapBytes int64
+	// CXLBytes sizes the byte-addressable far-memory node in ModeCXL;
+	// default equal to DRAM (a common expander sizing). Ignored by other
+	// modes.
+	CXLBytes int64
+	// Placement overrides the ModeCXL placement-loop configuration; nil
+	// selects place.DefaultConfig. Like Senpai, this is the boot-time
+	// config; a rollout-pushed policy may replace it live.
+	Placement *place.Config
 	// NCPU enables CPU contention when worker demand exceeds it; zero
 	// disables.
 	NCPU int
@@ -153,6 +165,10 @@ type System struct {
 	SSDSwap *backend.SSDSwap
 	Tiered  *backend.Tiered
 	NVM     *backend.NVM
+	// CXL is the byte-addressable far-memory node (ModeCXL), with Place
+	// the TPP-style loop migrating pages between it and local DRAM.
+	CXL   *backend.CXLNode
+	Place *place.Controller
 	// Trace collects controller decisions (the fleet-telemetry stand-in);
 	// tmosim -trace dumps it.
 	Trace *trace.Log
@@ -226,10 +242,16 @@ func New(opts Options) *System {
 		sys.NVM = backend.NewNVM(spec, opts.Seed^0xcafe)
 		swap = sys.NVM
 	case ModeCXL:
-		spec := backend.SpecCXLDRAM
-		spec.CapacityBytes = opts.SwapBytes
-		sys.NVM = backend.NewNVM(spec, opts.Seed^0xcafe)
-		swap = sys.NVM
+		// Byte-addressable placement tier: local DRAM over a CXL node,
+		// with SSD swap as the third rung once the node fills.
+		cxlSpec := backend.SpecCXLNode
+		cxlSpec.CapacityBytes = opts.CXLBytes
+		if cxlSpec.CapacityBytes <= 0 {
+			cxlSpec.CapacityBytes = opts.CapacityBytes
+		}
+		sys.CXL = backend.NewCXLNode(cxlSpec)
+		sys.SSDSwap = backend.NewSSDSwap(sys.Device, opts.SwapBytes)
+		swap = sys.SSDSwap
 	}
 
 	if sys.SSDSwap != nil {
@@ -241,6 +263,7 @@ func New(opts Options) *System {
 		TickLen:       opts.TickLen,
 		Device:        sys.Device,
 		Swap:          swap,
+		Far:           sys.CXL,
 		Policy:        opts.Policy,
 		NCPU:          opts.NCPU,
 		SwapReadahead: opts.SwapReadahead,
@@ -258,7 +281,20 @@ func New(opts Options) *System {
 		sys.Senpai.SetTrace(sys.Trace)
 		sys.Senpai.SetRecorder(sys.Tracer)
 		sys.Senpai.EnableTelemetry(sys.Telemetry)
+		if sys.CXL != nil {
+			sys.Senpai.SetFarNode(sys.CXL)
+		}
 		sys.Server.AddController(sys.Senpai)
+	}
+	if sys.CXL != nil {
+		pcfg := place.DefaultConfig()
+		if opts.Placement != nil {
+			pcfg = *opts.Placement
+		}
+		sys.Place = place.New(pcfg, sys.Server.Manager(), sys.CXL)
+		sys.Place.SetTrace(sys.Trace)
+		sys.Place.EnableTelemetry(sys.Telemetry)
+		sys.Server.AddController(sys.Place)
 	}
 	sys.wireTelemetry()
 	return sys
@@ -286,11 +322,17 @@ func (s *System) wireTelemetry() {
 		s.Tiered.EnableTelemetry(reg)
 		s.Tiered.SetTrace(s.Trace)
 	}
+	if s.CXL != nil {
+		s.CXL.EnableTelemetry(reg)
+	}
 
 	reg.GaugeFunc("host.capacity_bytes", func() float64 { return float64(mgr.HostStat().CapacityBytes) })
 	reg.GaugeFunc("host.resident_bytes", func() float64 { return float64(mgr.HostStat().ResidentBytes) })
 	reg.GaugeFunc("host.pool_bytes", func() float64 { return float64(mgr.HostStat().PoolBytes) })
 	reg.GaugeFunc("host.free_bytes", func() float64 { return float64(mgr.HostStat().FreeBytes) })
+	if s.CXL != nil {
+		reg.GaugeFunc("host.far_bytes", func() float64 { return float64(mgr.HostStat().FarBytes) })
+	}
 
 	// Root PSI totals, synced to the current virtual instant on read — the
 	// pressure-file "total" fields production Senpai differences.
@@ -341,6 +383,7 @@ func (s *System) Chaos() *chaos.Engine {
 			Device:            s.Device,
 			Manager:           s.Server.Manager(),
 			Swap:              s.Server.Swap(),
+			CXL:               s.CXL,
 			SwapCapacityBytes: swapCap,
 			Apps:              s.Server.Apps,
 			Seed:              s.Opts.Seed ^ 0xc4a05c4a05,
@@ -405,6 +448,9 @@ func (s *System) addProfileWithConfig(p workload.Profile, kind cgroup.Kind, over
 			s.Senpai.AddTarget(app.Group)
 		}
 	}
+	if s.Place != nil {
+		s.Place.AddTarget(app.Group)
+	}
 	return app
 }
 
@@ -423,6 +469,8 @@ type Metrics struct {
 	CapacityBytes, ResidentBytes, PoolBytes, FreeBytes int64
 	// Swap backend contents (zero values in ModeOff/ModeFileOnly).
 	SwappedPages, SwappedBytes int64
+	// FarBytes is memory placed on the CXL far node (ModeCXL only).
+	FarBytes int64
 	// Cumulative endurance-relevant writes.
 	DeviceWrittenBytes int64
 	// OOMEvents counts overcommit incidents.
@@ -437,6 +485,7 @@ func (s *System) Metrics() Metrics {
 		ResidentBytes:      host.ResidentBytes,
 		PoolBytes:          host.PoolBytes,
 		FreeBytes:          host.FreeBytes,
+		FarBytes:           host.FarBytes,
 		DeviceWrittenBytes: s.Device.WrittenBytes(),
 		OOMEvents:          s.Server.Manager().OOMEvents(),
 	}

@@ -193,26 +193,59 @@ func TestSenpaiAdaptsToDeviceDegradation(t *testing.T) {
 	}
 }
 
-// TestNVMAndCXLModes: the future tiers assemble and offload with a pure
+// TestNVMMode: the §2.5 NVM tier assembles and offloads with a pure
 // memory-stall signature.
-func TestNVMAndCXLModes(t *testing.T) {
-	for _, mode := range []Mode{ModeNVM, ModeCXL} {
-		sys := New(Options{Mode: mode, CapacityBytes: 512 * MiB, Senpai: fastSenpai(), Seed: 21})
-		app := sys.AddWorkload("feed")
-		sys.Run(10 * vclock.Minute)
-		if sys.NVM == nil {
-			t.Fatalf("%v: NVM backend missing", mode)
-		}
-		if sys.NVM.Stats().StoredPages == 0 {
-			t.Fatalf("%v: nothing offloaded", mode)
-		}
-		if sys.Metrics().PoolBytes != 0 {
-			t.Fatalf("%v: NVM tier consumed host DRAM", mode)
-		}
-		st := app.Group.MM().Stat()
-		if st.SwapIns == 0 {
-			t.Fatalf("%v: no swap-ins", mode)
-		}
+func TestNVMMode(t *testing.T) {
+	sys := New(Options{Mode: ModeNVM, CapacityBytes: 512 * MiB, Senpai: fastSenpai(), Seed: 21})
+	app := sys.AddWorkload("feed")
+	sys.Run(10 * vclock.Minute)
+	if sys.NVM == nil {
+		t.Fatal("NVM backend missing")
+	}
+	if sys.NVM.Stats().StoredPages == 0 {
+		t.Fatal("nothing offloaded")
+	}
+	if sys.Metrics().PoolBytes != 0 {
+		t.Fatal("NVM tier consumed host DRAM")
+	}
+	st := app.Group.MM().Stat()
+	if st.SwapIns == 0 {
+		t.Fatal("no swap-ins")
+	}
+}
+
+// TestCXLMode: ModeCXL assembles the far-memory node, the placement loop,
+// and SSD swap as the third rung; reclaim demotes ahead of swap and the
+// placement loop promotes some of what turns hot again.
+func TestCXLMode(t *testing.T) {
+	sys := New(Options{Mode: ModeCXL, CapacityBytes: 512 * MiB, Senpai: fastSenpai(), Seed: 21})
+	app := sys.AddWorkload("feed")
+	sys.Run(10 * vclock.Minute)
+	if sys.CXL == nil {
+		t.Fatal("CXL node missing")
+	}
+	if sys.Place == nil {
+		t.Fatal("placement controller missing")
+	}
+	if sys.SSDSwap == nil {
+		t.Fatal("SSD swap third rung missing")
+	}
+	if sys.Metrics().FarBytes == 0 {
+		t.Fatal("nothing placed on the far node")
+	}
+	if sys.Metrics().PoolBytes != 0 {
+		t.Fatal("CXL tier consumed host DRAM")
+	}
+	st := app.Group.MM().Stat()
+	if st.Demotions == 0 {
+		t.Fatal("no demotions to the far tier")
+	}
+	if sys.Place.Stats().Promotions == 0 {
+		t.Fatal("placement loop promoted nothing")
+	}
+	// The host snapshot's far bytes must agree with the node's occupancy.
+	if got, want := sys.Metrics().FarBytes, sys.CXL.UsedBytes(); got != want {
+		t.Fatalf("far bytes disagree: metrics %d, node %d", got, want)
 	}
 }
 

@@ -102,8 +102,12 @@ func SweepBackends(cfg Config) SpectrumResult {
 }
 
 // medianLoadUs reports the configured backend's typical page-load latency.
+// The CXL branch precedes SSD swap: a ModeCXL host carries both, and the
+// placement tier is what its cold accesses hit.
 func medianLoadUs(sys *core.System) float64 {
 	switch {
+	case sys.CXL != nil:
+		return float64(sys.CXL.Spec().AccessLatency)
 	case sys.NVM != nil:
 		return float64(sys.NVM.Spec().ReadMedian)
 	case sys.Zswap != nil && sys.Tiered == nil:

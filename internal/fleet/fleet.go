@@ -14,6 +14,7 @@ import (
 	"tmo/internal/cgroup"
 	"tmo/internal/core"
 	"tmo/internal/mm"
+	"tmo/internal/place"
 	"tmo/internal/senpai"
 	"tmo/internal/telemetry"
 	"tmo/internal/vclock"
@@ -51,6 +52,14 @@ type Spec struct {
 	// core default. Rollout policies may carry this knob with a mode
 	// change.
 	SwapBytes int64
+	// CXLBytes optionally sizes the byte-addressable far-memory node in
+	// ModeCXL; zero keeps the core default (host DRAM size). A positive
+	// value also marks the host's device cohort as CXL-bearing.
+	CXLBytes int64
+	// Placement optionally overrides the ModeCXL placement-loop
+	// configuration the host boots with. Like Senpai, a pushed rollout
+	// policy's placement knobs win over this spec-level value.
+	Placement *place.Config
 	// WithTax co-schedules the datacenter- and microservice-tax sidecars.
 	WithTax bool
 	// Seed makes the server deterministic; A/B pairs share it.
@@ -78,12 +87,19 @@ func (s Spec) normalize() Spec {
 }
 
 // DeviceClass returns the spec's device-cohort key: the SSD model letter
-// with the default model applied. Rollout guardrail maps are keyed by it.
+// with the default model applied, suffixed "+cxl" when the host carries a
+// far-memory node — CXL-bearing hosts form their own guardrail cohorts
+// because their pressure/savings trade-off is categorically different.
+// Rollout guardrail maps are keyed by it.
 func (s Spec) DeviceClass() string {
-	if s.Device == "" {
-		return "C"
+	d := s.Device
+	if d == "" {
+		d = "C"
 	}
-	return s.Device
+	if s.CXLBytes > 0 {
+		d += "+cxl"
+	}
+	return d
 }
 
 // DeviceCohorts slices a population by device class: it returns the spec
@@ -151,6 +167,8 @@ func buildSystem(s Spec, mode core.Mode) (*core.System, *workload.App, *workload
 		Senpai:        s.Senpai,
 		ZswapPoolFrac: s.ZswapPoolFrac,
 		SwapBytes:     s.SwapBytes,
+		CXLBytes:      s.CXLBytes,
+		Placement:     s.Placement,
 		Seed:          s.Seed,
 	})
 	app := sys.AddProfile(s.appProfile(), cgroup.Workload)

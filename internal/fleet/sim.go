@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"tmo/internal/core"
+	"tmo/internal/place"
 	"tmo/internal/psi"
 	"tmo/internal/senpai"
 	"tmo/internal/telemetry"
@@ -45,6 +46,10 @@ type HostSim interface {
 	Advance(window vclock.Duration) Vitals
 	// SetSenpaiConfig applies a live (same-mode) config push.
 	SetSenpaiConfig(cfg senpai.Config)
+	// SetPlacementConfig applies a live placement-knob push; hosts without
+	// a placement loop (non-CXL modes, twins) ignore it. A nil cfg resets
+	// to defaults.
+	SetPlacementConfig(cfg *place.Config)
 	// SwapCapacityBytes is the host's total offload capacity, for the
 	// swap-exhaustion latch.
 	SwapCapacityBytes() int64
@@ -124,6 +129,19 @@ func (h *SimHost) Advance(window vclock.Duration) Vitals {
 
 // SetSenpaiConfig implements HostSim.
 func (h *SimHost) SetSenpaiConfig(cfg senpai.Config) { h.Sys.Senpai.SetConfig(cfg) }
+
+// SetPlacementConfig implements HostSim; a no-op on hosts without a
+// placement loop.
+func (h *SimHost) SetPlacementConfig(cfg *place.Config) {
+	if h.Sys.Place == nil {
+		return
+	}
+	if cfg == nil {
+		h.Sys.Place.SetConfig(place.DefaultConfig())
+		return
+	}
+	h.Sys.Place.SetConfig(*cfg)
+}
 
 // SwapCapacityBytes implements HostSim.
 func (h *SimHost) SwapCapacityBytes() int64 { return h.swapCap }

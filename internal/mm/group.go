@@ -24,6 +24,16 @@ type Group struct {
 	// residentPages counts this group's own resident pages by type.
 	residentPages [numPageTypes]int64
 
+	// farList holds the group's anonymous pages placed on the far-memory
+	// node, most recently scanned (or demoted) first; the placement loop's
+	// access-bit sampler walks it tail-to-head. Far pages are Resident but
+	// consume no local DRAM, so they are excluded from residentPages and
+	// hierResidentBytes — limits and savings see only local memory.
+	farList lruList
+
+	// farPages counts this group's pages on the far node.
+	farPages int64
+
 	// hierResidentBytes is resident bytes of this group plus descendants;
 	// limits are enforced against it.
 	hierResidentBytes int64
@@ -66,6 +76,14 @@ type Group struct {
 // offloaded to the swap backend.
 func (g *Group) SwappedPages() int64 { return g.swappedPages }
 
+// FarPages returns how many of the group's pages live on the far node.
+func (g *Group) FarPages() int64 { return g.farPages }
+
+// FarResidentBytes returns the group's bytes placed on the far node. These
+// pages are mapped and Resident but excluded from ResidentBytes — they cost
+// no local DRAM.
+func (g *Group) FarResidentBytes() int64 { return g.farPages * g.mgr.cfg.PageSize }
+
 // SwappedBytes returns the group's current offloaded bytes (uncompressed).
 func (g *Group) SwappedBytes() int64 { return g.swappedPages * g.mgr.cfg.PageSize }
 
@@ -88,6 +106,11 @@ type GroupStat struct {
 	FileWritebacks int64
 	// PagesScanned counts LRU pages examined by reclaim.
 	PagesScanned int64
+	// Demotions counts anonymous pages moved to the far-memory node (by
+	// reclaim ahead of swap, or by the placement loop's watermark demoter).
+	Demotions int64
+	// Promotions counts far pages migrated back to local DRAM.
+	Promotions int64
 	// DirectReclaims counts charge-triggered (memory.max) reclaim runs.
 	DirectReclaims int64
 	// OOMEvents counts charges by this group that exceeded a limit even

@@ -49,6 +49,11 @@ type Config struct {
 	// Swap is the offload backend for anonymous pages; nil runs file-only
 	// mode (§5.1's first deployment phase).
 	Swap backend.SwapBackend
+	// Far is the byte-addressable far-memory node; when set, reclaim
+	// demotes cold anonymous pages to it ahead of swap (the swap tiers
+	// become the third rung) and touches of far pages pay the link latency
+	// without faulting. Nil disables the placement tier.
+	Far *backend.CXLNode
 	// FS is the filesystem used to (re)load file pages. Required.
 	FS *backend.Filesystem
 	// Policy selects the reclaim algorithm.
@@ -111,6 +116,18 @@ type Manager struct {
 	// readaheadIn counts pages loaded by readahead rather than faults.
 	readaheadIn int64
 
+	// farDemotions/farPromotions count placement-tier migrations; the
+	// placement loop's telemetry reads them.
+	farDemotions  int64
+	farPromotions int64
+
+	// farInterleave, when positive, statically places that fraction of
+	// newly resident anonymous pages on the far node (deterministic
+	// accumulator) — the hardware-interleaving baseline the placement loop
+	// is measured against. interleaveAcc carries the fractional credit.
+	farInterleave float64
+	interleaveAcc float64
+
 	// oomEvents counts charges that proceeded even though reclaim could
 	// not make room — situations where a real kernel would OOM-kill.
 	oomEvents int64
@@ -149,6 +166,25 @@ func NewManager(cfg Config) *Manager {
 
 // ReadaheadIn returns how many pages swap readahead has brought in.
 func (m *Manager) ReadaheadIn() int64 { return m.readaheadIn }
+
+// FarDemotions returns cumulative pages demoted to the far node.
+func (m *Manager) FarDemotions() int64 { return m.farDemotions }
+
+// FarPromotions returns cumulative pages promoted back to local DRAM.
+func (m *Manager) FarPromotions() int64 { return m.farPromotions }
+
+// SetFarInterleave statically places frac of newly resident anonymous pages
+// on the far node — the interleaving baseline. Zero restores demand-local
+// placement.
+func (m *Manager) SetFarInterleave(frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	m.farInterleave = frac
+}
 
 // noteSwapOut records an offloaded page into the current swap cluster.
 func (m *Manager) noteSwapOut(p *Page) {
@@ -316,13 +352,19 @@ type HostStat struct {
 	PoolBytes int64
 	// FreeBytes is unallocated DRAM.
 	FreeBytes int64
+	// FarBytes is application memory placed on the far node — mapped and
+	// accessible, but costing no local DRAM (excluded from ResidentBytes).
+	FarBytes int64
 }
 
 // HostStat returns the current host occupancy.
 func (m *Manager) HostStat() HostStat {
-	var pool int64
+	var pool, far int64
 	if m.cfg.Swap != nil {
 		pool = m.cfg.Swap.PoolBytes()
+	}
+	if m.cfg.Far != nil {
+		far = m.cfg.Far.UsedBytes()
 	}
 	res := m.root.hierResidentBytes
 	return HostStat{
@@ -330,6 +372,7 @@ func (m *Manager) HostStat() HostStat {
 		ResidentBytes: res,
 		PoolBytes:     pool,
 		FreeBytes:     m.cfg.CapacityBytes - res - pool,
+		FarBytes:      far,
 	}
 }
 
@@ -417,6 +460,25 @@ func (m *Manager) touch(now vclock.Time, p *Page) TouchResult {
 	g := p.group
 	switch p.state {
 	case Resident:
+		if p.far {
+			// Byte-addressable far access: the page is mapped, so there is
+			// no fault — the load itself runs at link latency. The wait is
+			// accounted as a memory stall (§3.2.3 attributes any
+			// memory-wait to memory pressure), which is what lets Senpai
+			// and the placement loop balance placement pressure.
+			lat := m.cfg.Far.AccessDelay(now)
+			if !p.referenced {
+				p.referenced = true
+				if p.list != nil {
+					p.list.refs++
+				}
+			}
+			if p.farHits < ^uint8(0) {
+				p.farHits++
+			}
+			p.lastTouch, p.touched = now, true
+			return TouchResult{Latency: lat, MemStall: true}
+		}
 		if p.pendingUntil > now {
 			// The page is still in flight on a batched load another fault
 			// submitted: coalesce onto that batch. The task waits out the
@@ -550,7 +612,10 @@ func (m *Manager) markAccessed(p *Page) {
 	}
 }
 
-// makeResident charges and inserts a faulted page at the inactive head.
+// makeResident charges and inserts a faulted page at the inactive head. In
+// static-interleave mode (the baseline the placement loop is measured
+// against) a deterministic fraction of new anonymous pages land on the far
+// node instead, uncharged.
 func (m *Manager) makeResident(now vclock.Time, p *Page) {
 	g := p.group
 	p.state = Resident
@@ -558,6 +623,17 @@ func (m *Manager) makeResident(now vclock.Time, p *Page) {
 	p.referenced = true
 	p.pendingUntil, p.pendingIO = 0, false
 	p.lastTouch, p.touched = now, true
+	if p.Type == Anon && m.farInterleave > 0 && m.cfg.Far != nil {
+		m.interleaveAcc += m.farInterleave
+		if m.interleaveAcc >= 1 && m.cfg.Far.TryReserve(m.cfg.PageSize) {
+			m.interleaveAcc--
+			p.far = true
+			p.farHits = 0
+			g.farList.pushHead(p)
+			g.farPages++
+			return
+		}
+	}
 	g.lists[p.Type][0].pushHead(p)
 	g.residentPages[p.Type]++
 	g.charge(m.cfg.PageSize)
@@ -607,6 +683,13 @@ func (m *Manager) FreePages(pages []*Page) {
 		switch p.state {
 		case Resident:
 			g := p.group
+			if p.far {
+				g.farList.remove(p)
+				g.farPages--
+				m.cfg.Far.Release(m.cfg.PageSize)
+				p.far, p.migrating, p.farHits = false, false, 0
+				break
+			}
 			var lst *lruList
 			if p.active {
 				lst = &g.lists[p.Type][1]

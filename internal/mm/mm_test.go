@@ -946,14 +946,19 @@ func TestPolicyAndStateStrings(t *testing.T) {
 func checkAccounting(t *testing.T, m *Manager, groups []*Group, pages []*Page) {
 	t.Helper()
 	perGroup := map[*Group][2]int64{}
+	perGroupFar := map[*Group]int64{}
 	for _, p := range pages {
 		if p.State() == Resident {
+			if p.far {
+				perGroupFar[p.Group()]++
+				continue
+			}
 			c := perGroup[p.Group()]
 			c[p.Type]++
 			perGroup[p.Group()] = c
 		}
 	}
-	var totalResident int64
+	var totalResident, totalFar int64
 	for _, g := range groups {
 		c := perGroup[g]
 		if g.residentPages[Anon] != c[Anon] || g.residentPages[File] != c[File] {
@@ -966,10 +971,24 @@ func checkAccounting(t *testing.T, m *Manager, groups []*Group, pages []*Page) {
 		if got := int64(g.lists[File][0].count + g.lists[File][1].count); got != c[File] {
 			t.Fatalf("group %s file list count %d != %d", g.Name(), got, c[File])
 		}
+		far := perGroupFar[g]
+		if g.farPages != far {
+			t.Fatalf("group %s far counter %d != far page states %d", g.Name(), g.farPages, far)
+		}
+		if got := int64(g.farList.count); got != far {
+			t.Fatalf("group %s far list count %d != %d", g.Name(), got, far)
+		}
 		totalResident += (c[Anon] + c[File]) * pageSize
+		totalFar += far * pageSize
 	}
 	if m.Root().HierResidentBytes() != totalResident {
 		t.Fatalf("root usage %d != total resident %d", m.Root().HierResidentBytes(), totalResident)
+	}
+	if m.cfg.Far != nil && m.cfg.Far.UsedBytes() != totalFar {
+		t.Fatalf("far node occupancy %d != far page states %d", m.cfg.Far.UsedBytes(), totalFar)
+	}
+	if m.cfg.Far == nil && totalFar != 0 {
+		t.Fatalf("far pages without a far node")
 	}
 	// Swap-cluster membership must track the Offloaded state exactly: a
 	// cluster entry for a page in any other state is a dangling pointer

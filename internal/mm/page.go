@@ -116,6 +116,20 @@ type Page struct {
 	pendingUntil vclock.Time
 	pendingIO    bool
 
+	// far marks a Resident anonymous page whose frame lives on the
+	// byte-addressable far-memory node rather than local DRAM: it is on the
+	// group's far list, costs no local capacity, and every touch pays the
+	// link latency in place of a fault.
+	far bool
+	// farHits counts touches since the placement loop's last access-bit
+	// scan over this page, saturating; the loop promotes pages whose count
+	// crosses its threshold.
+	farHits uint8
+	// migrating marks a far page with a non-exclusive promotion copy in
+	// flight (Nomad-style): the page stays mapped far and fully accessible,
+	// so an aborted promotion costs nothing.
+	migrating bool
+
 	// shadow is the group eviction counter recorded when this file page
 	// was evicted; valid while hasShadow is set.
 	shadow    uint64
@@ -141,6 +155,12 @@ func (p *Page) Referenced() bool { return p.referenced }
 
 // Dirty reports whether the page awaits writeback.
 func (p *Page) Dirty() bool { return p.dirty }
+
+// Far reports whether the page's frame lives on the far-memory node.
+func (p *Page) Far() bool { return p.far }
+
+// Migrating reports whether a non-exclusive promotion copy is in flight.
+func (p *Page) Migrating() bool { return p.migrating }
 
 // LastTouch returns the time of the page's most recent access and whether
 // it was ever accessed.

@@ -25,6 +25,10 @@ type ReclaimResult struct {
 	StallTime vclock.Duration
 	// SwapFull reports that the swap backend refused at least one store.
 	SwapFull bool
+	// DemotedPages counts anon victims moved to the far-memory node instead
+	// of swap; their bytes are included in ReclaimedBytes (local DRAM was
+	// freed) but not in ReclaimedAnon (they were not swapped out).
+	DemotedPages int64
 }
 
 // add merges r2 into r.
@@ -35,6 +39,7 @@ func (r *ReclaimResult) add(r2 ReclaimResult) {
 	r.ScannedPages += r2.ScannedPages
 	r.StallTime += r2.StallTime
 	r.SwapFull = r.SwapFull || r2.SwapFull
+	r.DemotedPages += r2.DemotedPages
 }
 
 // scanBatch is how many pages move from the active to the inactive list per
@@ -159,6 +164,15 @@ func (m *Manager) shrinkOracle(now vclock.Time, g *Group, want int64) ReclaimRes
 			lst = &g.lists[p.Type][0]
 		}
 		if p.Type == Anon {
+			if m.cfg.Far != nil && m.cfg.Far.TryReserve(m.cfg.PageSize) {
+				lst.remove(p)
+				m.finishDemote(now, g, p, &res)
+				reclaimed++
+				continue
+			}
+			if !m.swapScanAllowed() {
+				continue
+			}
 			store, err := m.cfg.Swap.Store(now, m.cfg.PageSize, p.Compressibility)
 			if err != nil {
 				m.swapExhausted = true
@@ -285,10 +299,26 @@ func (m *Manager) shrinkGroup(now vclock.Time, g *Group, want int64) ReclaimResu
 		}
 
 		if t == Anon {
+			inactive.remove(p)
+			// Demotion before swap: a cold anon victim moves to the
+			// byte-addressable far node while it has room, so it stays
+			// mapped at link latency instead of faulting; the swap tiers
+			// engage only once the node is full (the third rung).
+			if m.cfg.Far != nil && m.cfg.Far.TryReserve(m.cfg.PageSize) {
+				m.finishDemote(now, g, p, &res)
+				reclaimed++
+				continue
+			}
+			if !m.swapScanAllowed() {
+				// Far node full and no swap rung available: give the page
+				// back; pickScanType stops selecting anon now that neither
+				// rung has room.
+				inactive.pushHead(p)
+				continue
+			}
 			// Gather the victim; victims flush as one batched store per
 			// swap cluster, so the device sees clustered submissions and
 			// the queue/backpressure cost is paid once per batch.
-			inactive.remove(p)
 			m.storeVictims[m.nStoreVictims] = p
 			m.storeReqs[m.nStoreVictims] = backend.StoreReq{
 				PageBytes:     m.cfg.PageSize,
@@ -377,6 +407,7 @@ func (m *Manager) noteShrink(g *Group, res ReclaimResult, writebacks int64) {
 	g.stat.SwapOuts += res.ReclaimedAnon
 	g.stat.FileEvictions += res.ReclaimedFile
 	g.stat.FileWritebacks += writebacks
+	g.stat.Demotions += res.DemotedPages
 	if m.tel == nil {
 		return
 	}
@@ -407,8 +438,18 @@ func (m *Manager) otherAvailable(g *Group, t PageType) (PageType, bool) {
 	return other, g.lists[other][0].count+g.lists[other][1].count > 0
 }
 
-// anonScanAllowed reports whether anonymous reclaim is possible at all.
+// anonScanAllowed reports whether anonymous reclaim is possible at all:
+// either the far node has room for a demotion, or a swap rung can store.
 func (m *Manager) anonScanAllowed() bool {
+	if m.cfg.Far != nil && m.cfg.Far.FreeBytes() >= m.cfg.PageSize {
+		return true
+	}
+	return m.swapScanAllowed()
+}
+
+// swapScanAllowed reports whether the swap rung specifically can take
+// stores.
+func (m *Manager) swapScanAllowed() bool {
 	return m.cfg.Swap != nil && !m.swapExhausted
 }
 

@@ -1,0 +1,365 @@
+// Package place implements transparent page placement over a
+// byte-addressable CXL far-memory node — the tiering counterpart of TMO's
+// offload loop, following TPP's design: reclaim demotes cold pages to the
+// node ahead of swap (internal/mm), and this controller runs the reverse
+// path on the virtual clock — deterministic access-bit sampling over far
+// pages within a per-window budget, promotion of hot pages back to local
+// DRAM via Nomad-style non-exclusive copies (the page stays mapped far
+// while the copy is in flight, so a promotion aborted by churn, link
+// trouble, or local-memory pressure costs nothing), and watermark-driven
+// proactive demotion that keeps local allocation headroom while each
+// container's memory pressure stays under a placement target.
+package place
+
+import (
+	"tmo/internal/backend"
+	"tmo/internal/cgroup"
+	"tmo/internal/mm"
+	"tmo/internal/psi"
+	"tmo/internal/telemetry"
+	"tmo/internal/trace"
+	"tmo/internal/vclock"
+)
+
+// Config holds the placement loop parameters. The zero value selects
+// defaults field by field, so partial configs (a rollout policy racing only
+// the watermarks) compose with DefaultConfig.
+type Config struct {
+	// Interval between placement actions; default 1s. Placement runs much
+	// faster than Senpai's 6s: promotion latency is what bounds the cost
+	// of a wrong demotion.
+	Interval vclock.Duration
+	// SampleBudget is how many far pages each container's access-bit scan
+	// examines per interval; default 256.
+	SampleBudget int
+	// PromoteThreshold is the touch count since a page's last scan that
+	// marks it hot; default 2 (TPP promotes on the second reference).
+	PromoteThreshold uint8
+	// MaxInflight bounds concurrent promotion copies; default 8.
+	MaxInflight int
+	// DemoteWatermarkFrac is the host free-memory fraction below which the
+	// proactive demoter engages; default 0.08.
+	DemoteWatermarkFrac float64
+	// DemoteStepFrac is the fraction of a container's local anon memory
+	// demoted per interval at full urgency; default 0.01.
+	DemoteStepFrac float64
+	// PressureTarget is the per-container windowed memory some-pressure
+	// above which proactive demotion backs off — the placement-pressure
+	// balance: demotion must not push a container into visible stalling;
+	// default 0.002.
+	PressureTarget float64
+	// InterleaveFrac, when positive, replaces the whole loop with the
+	// static-interleave baseline: that fraction of new anonymous pages is
+	// placed far at allocation and nothing ever migrates. The scorecard's
+	// strawman, not a production setting.
+	InterleaveFrac float64
+}
+
+// DefaultConfig returns the production-like placement parameters.
+func DefaultConfig() Config {
+	return Config{
+		Interval:            1 * vclock.Second,
+		SampleBudget:        256,
+		PromoteThreshold:    2,
+		MaxInflight:         8,
+		DemoteWatermarkFrac: 0.08,
+		DemoteStepFrac:      0.01,
+		PressureTarget:      0.002,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Interval <= 0 {
+		c.Interval = d.Interval
+	}
+	if c.SampleBudget <= 0 {
+		c.SampleBudget = d.SampleBudget
+	}
+	if c.PromoteThreshold == 0 {
+		c.PromoteThreshold = d.PromoteThreshold
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = d.MaxInflight
+	}
+	if c.DemoteWatermarkFrac <= 0 {
+		c.DemoteWatermarkFrac = d.DemoteWatermarkFrac
+	}
+	if c.DemoteStepFrac <= 0 {
+		c.DemoteStepFrac = d.DemoteStepFrac
+	}
+	if c.PressureTarget <= 0 {
+		c.PressureTarget = d.PressureTarget
+	}
+	return c
+}
+
+// migration is one in-flight non-exclusive promotion copy.
+type migration struct {
+	p     *mm.Page
+	g     *cgroup.Group
+	start vclock.Time
+	done  vclock.Time
+}
+
+// Stats is the controller's cumulative outcome counters.
+type Stats struct {
+	// Promotions counts committed promotions to local DRAM.
+	Promotions int64
+	// Aborts counts promotions dropped at zero cost, by cause: the page
+	// left the far tier mid-copy (churn), the link stalled over the copy
+	// window, or local memory had no headroom at commit time.
+	AbortsChurn, AbortsStall, AbortsPressure int64
+	// AbortStall is the host-visible stall charged by aborted promotions.
+	// Non-exclusive copies make this zero by construction; it exists so
+	// the scorecard can pin that property.
+	AbortStall vclock.Duration
+	// DemotedBytes is what the watermark demoter moved (reclaim-context
+	// demotions are counted by mm).
+	DemotedBytes int64
+}
+
+// Aborts returns the total aborted promotions.
+func (s Stats) Aborts() int64 { return s.AbortsChurn + s.AbortsStall + s.AbortsPressure }
+
+// Controller drives placement for a set of containers. It implements
+// sim.Controller; like Senpai it self-gates on its own interval.
+type Controller struct {
+	cfg  Config
+	mgr  *mm.Manager
+	node *backend.CXLNode
+
+	targets []*cgroup.Group
+	lastMem map[*cgroup.Group]vclock.Duration
+
+	// inflight holds promotion copies in submission order — a slice, not a
+	// map, so completion order is deterministic.
+	inflight  []migration
+	sampleBuf []*mm.Page
+
+	lastRun vclock.Time
+	started bool
+
+	stats               Stats
+	lastSampled         int64
+	lastHot             int64
+	sampledTotal        int64
+	hotTotal            int64
+	interleaveInstalled bool
+
+	trace *trace.Log
+
+	telPromotions   *telemetry.Counter
+	telAbortChurn   *telemetry.Counter
+	telAbortStall   *telemetry.Counter
+	telAbortPress   *telemetry.Counter
+	telAbortStallUs *telemetry.Counter
+	telHotRatio     *telemetry.Gauge
+}
+
+// New returns a controller moving pages between mgr's local tier and node.
+func New(cfg Config, mgr *mm.Manager, node *backend.CXLNode) *Controller {
+	c := &Controller{
+		cfg:     cfg.withDefaults(),
+		mgr:     mgr,
+		node:    node,
+		lastMem: make(map[*cgroup.Group]vclock.Duration),
+	}
+	c.applyInterleave()
+	return c
+}
+
+// applyInterleave pushes the static-interleave fraction into the manager.
+func (c *Controller) applyInterleave() {
+	c.mgr.SetFarInterleave(c.cfg.InterleaveFrac)
+	c.interleaveInstalled = c.cfg.InterleaveFrac > 0
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// SetConfig replaces the configuration at runtime — the path a rollout
+// policy's placement knobs arrive through. In-flight promotions complete
+// under the new limits; PSI baselines carry over.
+func (c *Controller) SetConfig(cfg Config) {
+	c.cfg = cfg.withDefaults()
+	c.applyInterleave()
+}
+
+// Stats returns the cumulative outcome counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Inflight returns how many promotion copies are currently in flight.
+func (c *Controller) Inflight() int { return len(c.inflight) }
+
+// SetTrace attaches a decision log.
+func (c *Controller) SetTrace(l *trace.Log) { c.trace = l }
+
+// AddTarget registers a container for placement.
+func (c *Controller) AddTarget(g *cgroup.Group) { c.targets = append(c.targets, g) }
+
+// EnableTelemetry registers the place.* instruments with reg.
+func (c *Controller) EnableTelemetry(reg *telemetry.Registry) {
+	c.telPromotions = reg.Counter("place.promotions")
+	c.telAbortChurn = reg.Counter("place.promo_aborts", telemetry.Label{Key: "reason", Value: "churn"})
+	c.telAbortStall = reg.Counter("place.promo_aborts", telemetry.Label{Key: "reason", Value: "link-stall"})
+	c.telAbortPress = reg.Counter("place.promo_aborts", telemetry.Label{Key: "reason", Value: "pressure"})
+	c.telAbortStallUs = reg.Counter("place.promo_abort_stall_us")
+	c.telHotRatio = reg.Gauge("place.sampled_hot_ratio")
+	reg.GaugeFunc("place.far_resident_bytes", func() float64 { return float64(c.node.UsedBytes()) })
+	reg.GaugeFunc("place.demotions", func() float64 { return float64(c.mgr.FarDemotions()) })
+	reg.GaugeFunc("place.inflight", func() float64 { return float64(len(c.inflight)) })
+}
+
+// Tick drives the controller; call it every simulation tick.
+func (c *Controller) Tick(now vclock.Time) {
+	if !c.started {
+		c.started = true
+		c.lastRun = now
+		c.snapshot(now)
+		return
+	}
+	interval := now.Sub(c.lastRun)
+	if interval < c.cfg.Interval {
+		return
+	}
+	c.lastRun = now
+
+	c.completePromotions(now)
+
+	if c.cfg.InterleaveFrac > 0 {
+		// Static-interleave baseline: placement is fixed at allocation;
+		// no sampling, no migration.
+		c.snapshot(now)
+		return
+	}
+
+	// Access-bit sampling and promotion submission, per container in
+	// registration order (deterministic).
+	pageSize := c.mgr.Config().PageSize
+	c.lastSampled, c.lastHot = 0, 0
+	for _, g := range c.targets {
+		cands, sampled := c.mgr.SampleFar(g.MM(), c.cfg.SampleBudget, c.cfg.PromoteThreshold, c.sampleBuf[:0])
+		c.sampleBuf = cands[:0]
+		c.lastSampled += int64(sampled)
+		c.lastHot += int64(len(cands))
+		for _, p := range cands {
+			if len(c.inflight) >= c.cfg.MaxInflight {
+				break
+			}
+			if !c.mgr.BeginPromotion(p) {
+				continue
+			}
+			c.inflight = append(c.inflight, migration{
+				p:     p,
+				g:     g,
+				start: now,
+				done:  now.Add(c.node.MigrateCost(now, pageSize)),
+			})
+		}
+	}
+	c.sampledTotal += c.lastSampled
+	c.hotTotal += c.lastHot
+	if c.telHotRatio != nil && c.lastSampled > 0 {
+		c.telHotRatio.Set(float64(c.lastHot) / float64(c.lastSampled))
+	}
+
+	// Watermark demotion: keep local allocation headroom by proactively
+	// moving cold pages far — but only from containers whose windowed
+	// memory pressure is under the placement target, so demotion never
+	// pushes a stalling container harder. Headroom is judged against the
+	// tighter of two walls: host free memory, and each container's own
+	// memory.max. The second matters because promotions commit only when
+	// the group has room under its limit (migration must never trigger
+	// reclaim); a group pinned at memory.max would otherwise abort every
+	// promotion, so the demoter keeps a watermark of limit headroom open
+	// and the loop exchanges cold-for-hot through it.
+	host := c.mgr.HostStat()
+	freeFrac := float64(host.FreeBytes) / float64(host.CapacityBytes)
+	hostUrgency := 0.0
+	if freeFrac < c.cfg.DemoteWatermarkFrac {
+		hostUrgency = (c.cfg.DemoteWatermarkFrac - freeFrac) / c.cfg.DemoteWatermarkFrac
+	}
+	for _, g := range c.targets {
+		tr := g.PSI()
+		tr.Sync(now)
+		memTot := tr.Total(psi.Memory, psi.Some)
+		memP := psi.WindowedPressure(c.lastMem[g], memTot, interval)
+		c.lastMem[g] = memTot
+		urgency := hostUrgency
+		if lim := g.MM().Limit(); lim > 0 {
+			headFrac := float64(lim-g.MemoryCurrent()) / float64(lim)
+			if headFrac < c.cfg.DemoteWatermarkFrac {
+				if u := (c.cfg.DemoteWatermarkFrac - headFrac) / c.cfg.DemoteWatermarkFrac; u > urgency {
+					urgency = u
+				}
+			}
+		}
+		if urgency <= 0 || memP >= c.cfg.PressureTarget {
+			continue
+		}
+		want := int64(float64(g.MM().ResidentBytesOf(mm.Anon)) * c.cfg.DemoteStepFrac * urgency)
+		if want <= 0 {
+			continue
+		}
+		moved := c.mgr.DemoteCold(now, g.MM(), want)
+		c.stats.DemotedBytes += moved
+		if moved > 0 && c.trace != nil {
+			c.trace.Emit(now, trace.KindPlaceDemote, g.Name(),
+				"demoted %d B to far node (free=%.3f mem=%.4f)", moved, freeFrac, memP)
+		}
+	}
+}
+
+// snapshot primes the PSI baselines without acting.
+func (c *Controller) snapshot(now vclock.Time) {
+	for _, g := range c.targets {
+		tr := g.PSI()
+		tr.Sync(now)
+		c.lastMem[g] = tr.Total(psi.Memory, psi.Some)
+	}
+}
+
+// completePromotions resolves in-flight copies whose transfer is due. A
+// copy commits only if the page is still on the far tier (it can leave by
+// being freed under churn), the link never stalled over the copy window,
+// and local DRAM has headroom at commit time; otherwise the promotion
+// aborts, and because the copy was non-exclusive the abort charges nothing
+// to anyone — no stall, no accounting change.
+func (c *Controller) completePromotions(now vclock.Time) {
+	kept := c.inflight[:0]
+	for _, mg := range c.inflight {
+		if mg.done > now {
+			kept = append(kept, mg)
+			continue
+		}
+		switch {
+		case mg.p.State() != mm.Resident || !mg.p.Far():
+			c.mgr.AbortPromotion(mg.p)
+			c.stats.AbortsChurn++
+			c.note(now, c.telAbortChurn, mg, "abort (churn)")
+		case c.node.StalledDuring(mg.start, mg.done):
+			c.mgr.AbortPromotion(mg.p)
+			c.stats.AbortsStall++
+			c.note(now, c.telAbortStall, mg, "abort (link stall)")
+		case !c.mgr.PromoteFromFar(now, mg.p):
+			c.stats.AbortsPressure++
+			c.note(now, c.telAbortPress, mg, "abort (local pressure)")
+		default:
+			c.stats.Promotions++
+			c.note(now, c.telPromotions, mg, "promoted")
+		}
+	}
+	c.inflight = kept
+}
+
+// note publishes one promotion outcome.
+func (c *Controller) note(now vclock.Time, counter *telemetry.Counter, mg migration, what string) {
+	if counter != nil {
+		counter.Inc()
+	}
+	if c.trace != nil {
+		c.trace.Emit(now, trace.KindPlacePromote, mg.g.Name(), "%s after %dus in flight", what, int64(now.Sub(mg.start)))
+	}
+}

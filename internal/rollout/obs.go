@@ -258,6 +258,17 @@ func (c *Controller) observe(cws []candWindow) {
 
 	for _, a := range o.eval.Eval(c.now) {
 		c.record(trace.KindSLOBurn, a.Monitor, "%s: %s", a.Series, a.Detail())
+		if a.Monitor == "twin-drift" {
+			// The pressure-gap burn means the twin calibration has gone
+			// stale against its full-fidelity anchors: advise recalibration
+			// so the next campaign re-probes the response surface before
+			// trusting twin cohort verdicts again.
+			c.recalibAdvised++
+			c.telRecalib.Inc()
+			c.record(trace.KindRolloutRecalib, a.Series,
+				"twin drift burn #%d: re-probe calibration surface (%s)",
+				c.recalibAdvised, a.Detail())
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tmo/internal/core"
+	"tmo/internal/place"
 	"tmo/internal/senpai"
 )
 
@@ -36,6 +37,12 @@ type Policy struct {
 	// under this policy; zero keeps the core default. Applied on (re)build
 	// only.
 	SwapBytes int64
+	// Placement optionally carries ModeCXL placement-loop knobs for the
+	// bandit to race (sampling budgets, watermarks, promote thresholds —
+	// see place.Config). Pushed live on same-mode pushes and applied on
+	// rebuilds; nil leaves hosts at placement defaults. Non-CXL hosts
+	// ignore it.
+	Placement *place.Config
 }
 
 // validate panics unless the policy is usable, naming who it belongs to.

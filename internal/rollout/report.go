@@ -120,6 +120,11 @@ type Result struct {
 	// without Config.Twin).
 	FullHosts int
 	TwinHosts int
+	// RecalibrationAdvised counts twin-drift burn alerts over the run:
+	// nonzero means the twin calibration drifted past tolerance against
+	// its full-fidelity anchors and the surface should be re-probed before
+	// the artifact is reused.
+	RecalibrationAdvised int64
 	// Window is the barrier window length.
 	Window vclock.Duration
 	// Duration is the total virtual time simulated.
@@ -177,6 +182,9 @@ func (r Result) Render() string {
 	}
 	if r.TwinHosts > 0 {
 		fmt.Fprintf(&b, "fidelity: %d full / %d twin hosts\n", r.FullHosts, r.TwinHosts)
+	}
+	if r.RecalibrationAdvised > 0 {
+		fmt.Fprintf(&b, "twin recalibration advised: %d drift-burn alerts\n", r.RecalibrationAdvised)
 	}
 	b.WriteString("\n")
 

@@ -516,7 +516,12 @@ type Controller struct {
 	obs     *obsState
 	flights []tsdb.FlightBundle
 
-	telAdvance, telRollback, telPush, telRebuild, telDrop, telPromote, telCrash, telRejoin *telemetry.Counter
+	// recalibAdvised counts twin-drift burn alerts: each one is standing
+	// advice to re-probe the calibration surface before trusting further
+	// twin cohort verdicts.
+	recalibAdvised int64
+
+	telAdvance, telRollback, telPush, telRebuild, telDrop, telPromote, telCrash, telRejoin, telRecalib *telemetry.Counter
 }
 
 // New builds the fleet (every host starts on the baseline policy) and arms
@@ -539,6 +544,7 @@ func New(cfg Config) *Controller {
 	c.telPromote = c.reg.Counter("rollout.promotions")
 	c.telCrash = c.reg.Counter("rollout.host_crashes")
 	c.telRejoin = c.reg.Counter("rollout.host_rejoins")
+	c.telRecalib = c.reg.Counter("rollout.recalib_advised")
 	c.reg.GaugeFunc("rollout.stage", func() float64 { return float64(c.stageIdx) })
 	c.reg.GaugeFunc("rollout.treated_hosts", func() float64 { return float64(c.treated) })
 	c.reg.GaugeFunc("rollout.candidates_alive", func() float64 { return float64(c.aliveCount()) })
@@ -669,6 +675,9 @@ func (c *Controller) buildHost(h *host) {
 	if pol.SwapBytes > 0 {
 		spec.SwapBytes = pol.SwapBytes
 	}
+	if pol.Placement != nil {
+		spec.Placement = pol.Placement
+	}
 	spec.Seed = h.spec.Seed + uint64(h.incarnation)*0x9e3779b9
 	if h.fidelity == fleet.FidelityTwin {
 		// Surface presence was validated at construction.
@@ -706,6 +715,7 @@ func (c *Controller) pushPolicy(h *host) bool {
 		return true
 	}
 	h.sim.SetSenpaiConfig(pol.Config)
+	h.sim.SetPlacementConfig(pol.Placement)
 	return false
 }
 
@@ -1469,5 +1479,6 @@ func (c *Controller) result() Result {
 			r.FullHosts++
 		}
 	}
+	r.RecalibrationAdvised = c.recalibAdvised
 	return r
 }

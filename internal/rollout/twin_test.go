@@ -7,6 +7,8 @@ import (
 
 	"tmo/internal/core"
 	"tmo/internal/fleet"
+	"tmo/internal/slo"
+	"tmo/internal/trace"
 	"tmo/internal/twin"
 	"tmo/internal/vclock"
 )
@@ -274,4 +276,48 @@ func TestTwinMissingSurfacePanics(t *testing.T) {
 		}
 	}()
 	New(cfg)
+}
+
+// TestTwinDriftAdvisesRecalibration pins the recalibration trigger: a
+// twin-drift burn alert (the |full − twin| pressure-gap monitor firing) must
+// surface as standing recalibration advice — counter, decision-log event,
+// and Result field — while a healthy calibration advises nothing.
+func TestTwinDriftAdvisesRecalibration(t *testing.T) {
+	// An impossibly tight gap budget makes any nonzero full/twin pressure
+	// gap burn, standing in for a calibration gone stale.
+	cfg, _ := obsConfig(twinConfig(safePolicy()))
+	cfg.Obs.NoDefaultMonitors = true
+	cfg.Obs.Monitors = []slo.Monitor{{
+		Name: "twin-drift", Metric: "rollout.fidelity.pressure_gap",
+		Kind: slo.Upper, Budget: 1e-12,
+	}}
+	c := New(cfg)
+	r := c.Run()
+	if r.RecalibrationAdvised == 0 {
+		t.Fatalf("drifting twins produced no recalibration advice; log:\n%s", r.EventLog())
+	}
+	found := false
+	for _, e := range r.Events {
+		if e.Kind == trace.KindRolloutRecalib {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no %s event in log:\n%s", trace.KindRolloutRecalib, r.EventLog())
+	}
+	if c.Telemetry().Counter("rollout.recalib_advised").Value() != r.RecalibrationAdvised {
+		t.Fatalf("counter and Result disagree")
+	}
+	if !strings.Contains(r.Render(), "twin recalibration advised") {
+		t.Fatalf("advice missing from scorecard:\n%s", r.Render())
+	}
+
+	// A healthy calibration under the stock tolerance advises nothing.
+	healthy, _ := obsConfig(twinConfig(safePolicy()))
+	rh := New(healthy).Run()
+	if rh.RecalibrationAdvised != 0 {
+		t.Fatalf("healthy run advised %d recalibrations; log:\n%s",
+			rh.RecalibrationAdvised, rh.EventLog())
+	}
 }

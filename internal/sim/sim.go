@@ -38,6 +38,9 @@ type Config struct {
 	Device *backend.SSDDevice
 	// Swap is the swap backend; nil disables swap (file-only mode).
 	Swap backend.SwapBackend
+	// Far is the byte-addressable far-memory node; nil disables the
+	// placement tier.
+	Far *backend.CXLNode
 	// Policy selects the kernel reclaim algorithm.
 	Policy mm.ReclaimPolicy
 	// NCPU is the host's CPU count; worker demand beyond it is
@@ -106,6 +109,7 @@ func NewServer(cfg Config) *Server {
 		CapacityBytes: cfg.CapacityBytes,
 		PageSize:      cfg.PageSize,
 		Swap:          cfg.Swap,
+		Far:           cfg.Far,
 		FS:            fs,
 		Policy:        cfg.Policy,
 		SwapReadahead: cfg.SwapReadahead,

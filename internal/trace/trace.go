@@ -51,6 +51,13 @@ const (
 	// a barrier verdict, and a flight-recorder bundle being cut.
 	KindSLOBurn    Kind = "slo.burn-alert"
 	KindFlightDump Kind = "rollout.flight-dump"
+	// Placement-loop events: promotion outcomes (committed or aborted at
+	// zero cost) and watermark demotions to the far-memory node.
+	KindPlacePromote Kind = "place.promote"
+	KindPlaceDemote  Kind = "place.demote"
+	// Twin-fidelity recalibration advice: the pressure-gap burn monitor
+	// fired, so the campaign's calibration surface should be re-probed.
+	KindRolloutRecalib Kind = "rollout.recalibrate-advice"
 )
 
 // Event is one recorded decision.
