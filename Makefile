@@ -15,7 +15,7 @@ check:
 	$(MAKE) race
 
 race:
-	$(GO) test -race ./internal/telemetry ./internal/trace ./internal/metrics ./internal/fleet ./internal/rollout ./internal/tsdb ./internal/slo ./internal/twin ./internal/place
+	$(GO) test -race ./internal/telemetry ./internal/trace ./internal/metrics ./internal/fleet ./internal/rollout ./internal/tsdb ./internal/slo ./internal/twin ./internal/place ./internal/backend
 
 # Reproducible perf baseline: runs the root figure benchmarks once each plus
 # the hot-path microbenchmarks at fixed iteration counts, and writes the

@@ -71,6 +71,7 @@ func main() {
 		{"twinscale", func() experiments.Result { return experiments.TwinScaleScorecard(cfg) }},
 		{"placement", func() experiments.Result { return experiments.PlacementScorecard(cfg) }},
 		{"abl-batch", func() experiments.Result { return experiments.AblationBatch(cfg) }},
+		{"tco", func() experiments.Result { return experiments.TCO(cfg) }},
 	}
 
 	ran := 0

@@ -67,7 +67,8 @@ type fleetReport struct {
 }
 
 func main() {
-	modeStr := flag.String("mode", "zswap", "offload mode: file-only, zswap, ssd")
+	modeStr := flag.String("mode", "zswap", "offload mode: file-only, zswap, ssd, tiered")
+	tiersStr := flag.String("tiers", "", `tier chain for -mode tiered, fastest first, e.g. "lz4:2g,zstd:4g,ssd" (empty = default chain)`)
 	warmStr := flag.String("warm", "40m", "virtual warm-up before measuring")
 	measureStr := flag.String("measure", "10m", "virtual measurement window")
 	scale := flag.Float64("scale", 0.5, "workload footprint scale")
@@ -85,6 +86,15 @@ func main() {
 	measure := cliutil.MustDuration("fleetsim", "measure", *measureStr)
 
 	mix := fleet.DefaultMix(mode, *seed)
+	if *tiersStr != "" {
+		if mode != core.ModeTiered {
+			cliutil.Fatal("fleetsim", fmt.Errorf("-tiers requires -mode tiered (got %s)", mode))
+		}
+		tiers := cliutil.MustTierSpec("fleetsim", *tiersStr)
+		for i := range mix {
+			mix[i].Tiers = tiers
+		}
+	}
 	sc := senpai.ConfigA()
 	sc.ReclaimRatio *= *ratioMult
 

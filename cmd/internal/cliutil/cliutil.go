@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"tmo/internal/backend"
 	"tmo/internal/core"
 	"tmo/internal/rollout"
 	"tmo/internal/vclock"
@@ -133,6 +134,91 @@ func ParseGuardrailSpec(value string) (device string, g rollout.Guardrails, err 
 		}
 	}
 	return device, g, nil
+}
+
+// ParseBytes parses a byte-size string: a non-negative integer with an
+// optional binary suffix k, m, g, or t (case-insensitive).
+func ParseBytes(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "k")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "g")
+	case strings.HasSuffix(s, "t"):
+		mult, s = 1<<40, strings.TrimSuffix(s, "t")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("bad size %q: negative", s)
+	}
+	return n * mult, nil
+}
+
+// ParseTierSpec parses a -tiers flag value into an ordered backend tier
+// chain, fastest tier first: comma-separated segments of the form
+// codec:capacity. Codecs lz4, zstd, and lzo name compressed tiers and
+// require a capacity; "ssd" names the flash swap tier, takes an optional
+// capacity ("ssd" alone is unbounded), and must come last. Capacities take
+// binary suffixes k/m/g/t. Example: "lz4:2g,zstd:4g,ssd".
+func ParseTierSpec(value string) ([]backend.TierSpec, error) {
+	var tiers []backend.TierSpec
+	for _, part := range strings.Split(value, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if len(tiers) > 0 && tiers[len(tiers)-1].Kind == backend.TierSSD {
+			return nil, fmt.Errorf("bad tier %q: the ssd tier must be last", part)
+		}
+		name, capStr, hasCap := strings.Cut(part, ":")
+		if name == "ssd" {
+			ts := backend.TierSpec{Kind: backend.TierSSD}
+			if hasCap {
+				b, err := ParseBytes(capStr)
+				if err != nil {
+					return nil, fmt.Errorf("bad tier %q: capacity: %w", part, err)
+				}
+				ts.CapacityBytes = b
+			}
+			tiers = append(tiers, ts)
+			continue
+		}
+		codec, ok := backend.CodecByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bad tier %q: unknown codec %q (lz4, zstd, lzo, ssd)", part, name)
+		}
+		if !hasCap || strings.TrimSpace(capStr) == "" {
+			return nil, fmt.Errorf("bad tier %q: compressed tier needs a capacity (e.g. %s:2g)", part, name)
+		}
+		b, err := ParseBytes(capStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad tier %q: capacity: %w", part, err)
+		}
+		if b <= 0 {
+			return nil, fmt.Errorf("bad tier %q: capacity must be positive", part)
+		}
+		tiers = append(tiers, backend.TierSpec{Kind: backend.TierZswap, Codec: codec, CapacityBytes: b})
+	}
+	if len(tiers) == 0 {
+		return nil, fmt.Errorf("empty tier spec %q", value)
+	}
+	return tiers, nil
+}
+
+// MustTierSpec is ParseTierSpec with command-line fatal semantics.
+func MustTierSpec(tool, value string) []backend.TierSpec {
+	tiers, err := ParseTierSpec(value)
+	if err != nil {
+		Fatal(tool, err)
+	}
+	return tiers
 }
 
 // WriteJSON renders v as indented JSON with a trailing newline — the shared

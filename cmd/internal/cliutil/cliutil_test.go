@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"tmo/internal/backend"
 	"tmo/internal/core"
 	"tmo/internal/rollout"
 	"tmo/internal/vclock"
@@ -110,5 +111,70 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if err := WriteJSON(&b, func() {}); err == nil {
 		t.Fatalf("unencodable value accepted")
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"0": 0, "4096": 4096, "2k": 2 << 10, "512M": 512 << 20, "2g": 2 << 30, "1t": 1 << 40,
+	}
+	for s, want := range cases {
+		got, err := ParseBytes(s)
+		if err != nil || got != want {
+			t.Errorf("ParseBytes(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "-1g", "2.5g", "gig"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Errorf("ParseBytes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseTierSpec(t *testing.T) {
+	tiers, err := ParseTierSpec("lz4:2g, zstd:4g,ssd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiers) != 3 {
+		t.Fatalf("got %d tiers, want 3: %+v", len(tiers), tiers)
+	}
+	if tiers[0].Kind != backend.TierZswap || tiers[0].Codec.Name != "lz4" || tiers[0].CapacityBytes != 2<<30 {
+		t.Fatalf("tier 0 = %+v, want lz4:2g", tiers[0])
+	}
+	if tiers[1].Codec.Name != "zstd" || tiers[1].CapacityBytes != 4<<30 {
+		t.Fatalf("tier 1 = %+v, want zstd:4g", tiers[1])
+	}
+	if tiers[2].Kind != backend.TierSSD || tiers[2].CapacityBytes != 0 {
+		t.Fatalf("tier 2 = %+v, want unbounded ssd", tiers[2])
+	}
+
+	capped, err := ParseTierSpec("zstd:64m,ssd:8g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped[1].Kind != backend.TierSSD || capped[1].CapacityBytes != 8<<30 {
+		t.Fatalf("capped ssd tier = %+v", capped[1])
+	}
+
+	// Errors must name the offending segment.
+	bads := map[string]string{
+		"lz4:2g,floppy:1g,ssd": `bad tier "floppy:1g"`,
+		"lz4,ssd":              `bad tier "lz4"`,
+		"lz4:zebra,ssd":        `bad tier "lz4:zebra"`,
+		"lz4:0,ssd":            `bad tier "lz4:0"`,
+		"ssd,zstd:1g":          `bad tier "zstd:1g"`,
+		"":                     "empty tier spec",
+		" , ":                  "empty tier spec",
+	}
+	for in, wantSub := range bads {
+		_, err := ParseTierSpec(in)
+		if err == nil {
+			t.Errorf("ParseTierSpec(%q) accepted", in)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("ParseTierSpec(%q) error %q does not contain %q", in, err, wantSub)
+		}
 	}
 }

@@ -15,10 +15,17 @@
 //	rolloutsim [-hosts 12 | -fleet-size 100000] [-mode zswap] [-mode-change tiered]
 //	           [-window 30s] [-warm 4] [-bake 4] [-plan canary=0.1,stage-2=0.5,fleet=1]
 //	           [-candidates 1] [-ratio-mult 10] [-aggressive]
+//	           [-tiers lz4:2g,zstd:4g,ssd] [-tier-config lz4:2g,ssd]...
 //	           [-devices C,F] [-guardrail F:psi=0.0002] [-crash 3@5m+2m]
 //	           [-twin] [-calib-in coeffs.json] [-calib-out coeffs.json]
 //	           [-workers N] [-seed 42] [-events] [-json] [-tsdb-out series.jsonl]
 //	           [-flight-dir flights/] [-dashboard]
+//
+// -tier-config (repeatable) races tier-chain configurations as bandit
+// candidates: each flag value is one chain (fastest tier first), every
+// chain becomes a ModeTiered candidate racing under the same controller
+// config, and the final stage promotes the chain with the best lifetime
+// weighted savings. -tiers sizes the chain the fleet's own specs carry.
 //
 // The baseline policy leaves offloading idle, so per-stage savings measure
 // each candidate against untouched control hosts. -aggressive turns the
@@ -49,6 +56,7 @@ import (
 	"time"
 
 	"tmo/cmd/internal/cliutil"
+	"tmo/internal/backend"
 	"tmo/internal/chaos"
 	"tmo/internal/core"
 	"tmo/internal/fleet"
@@ -89,6 +97,21 @@ func (c *crashFlags) Set(v string) error {
 		Host:     host,
 		Schedule: chaos.Schedule{At: vclock.Time(0).Add(atD), Dur: durD},
 	})
+	return nil
+}
+
+// tierConfigFlags collects repeatable -tier-config chain values; each one
+// becomes a candidate policy racing that tier configuration.
+type tierConfigFlags [][]backend.TierSpec
+
+func (t *tierConfigFlags) String() string { return fmt.Sprintf("%d tier configs", len(*t)) }
+
+func (t *tierConfigFlags) Set(v string) error {
+	tiers, err := cliutil.ParseTierSpec(v)
+	if err != nil {
+		return err
+	}
+	*t = append(*t, tiers)
 	return nil
 }
 
@@ -140,10 +163,13 @@ func main() {
 	tsdbOut := flag.String("tsdb-out", "", "write the observability time-series to this file (.csv for CSV, else JSON Lines)")
 	flightDir := flag.String("flight-dir", "", "write flight-recorder bundles (one per trip/crash/OOM post-mortem) into this directory")
 	dashboard := flag.Bool("dashboard", false, "render per-cohort sparklines of pressure, throughput, and savings over the stages")
+	tiersStr := flag.String("tiers", "", `tier chain the fleet's specs carry for tiered modes, e.g. "lz4:2g,zstd:4g,ssd"`)
 	var crashes crashFlags
 	flag.Var(&crashes, "crash", "schedule host churn as host@at+dur (repeatable), e.g. 3@5m+2m")
 	var guardrails guardrailFlags
 	flag.Var(&guardrails, "guardrail", "guardrail bundle as [device:]k=v,... with keys psi, rps, oom, latch, latched (repeatable)")
+	var tierConfigs tierConfigFlags
+	flag.Var(&tierConfigs, "tier-config", `race this tier chain as a candidate policy (repeatable; replaces the -candidates ladder), e.g. "lz4:2g,zstd:4g,ssd"`)
 	flag.Parse()
 
 	if *fleetSize > 0 {
@@ -178,11 +204,32 @@ func main() {
 		}
 		cands = append(cands, rollout.Policy{Name: name, Mode: candMode, Config: c})
 	}
+	// -tier-config replaces the ratio ladder: every chain races as its own
+	// candidate at the ladder's base aggressiveness, so the bandit compares
+	// backend shapes rather than controller heat.
+	if len(tierConfigs) > 0 {
+		candMode = core.ModeTiered
+		c := senpai.ConfigA()
+		c.ReclaimRatio *= *ratioMult
+		cands = cands[:0]
+		for i, tc := range tierConfigs {
+			cands = append(cands, rollout.Policy{
+				Name:    fmt.Sprintf("tiers-%d", i+1),
+				Mode:    core.ModeTiered,
+				Config:  c,
+				Backend: &rollout.PolicyBackend{Tiers: tc},
+			})
+		}
+	}
 
 	mix := fleet.DefaultMix(mode, *seed)
 	var devices []string
 	if *devicesStr != "" {
 		devices = strings.Split(*devicesStr, ",")
+	}
+	var fleetTiers []backend.TierSpec
+	if *tiersStr != "" {
+		fleetTiers = cliutil.MustTierSpec("rolloutsim", *tiersStr)
 	}
 	specs := make([]fleet.Spec, *hosts)
 	for i := range specs {
@@ -190,6 +237,7 @@ func main() {
 		s.WithTax = false
 		s.Scale = *scale
 		s.Seed = *seed + uint64(i)*7919
+		s.Tiers = fleetTiers
 		if len(devices) > 0 {
 			s.Device = strings.TrimSpace(devices[i%len(devices)])
 		}
@@ -244,10 +292,20 @@ func main() {
 		for _, c := range cands {
 			probes = append(probes, c.Config)
 		}
+		// Candidate backend sizings (tier chains, pool knobs) calibrate their
+		// own signature-keyed surfaces so twin cohorts racing them are judged
+		// on fits measured under the sizing they push.
+		var calBackends []fleet.BackendConfig
+		for _, c := range cands {
+			if c.Backend != nil {
+				calBackends = append(calBackends, *c.Backend)
+			}
+		}
 		calStart := time.Now()
 		coeffs = twin.Calibrate(twin.CalibrateConfig{
 			Specs:    calSpecs,
 			Modes:    modes,
+			Backends: calBackends,
 			Baseline: baseCfg,
 			Probes:   probes,
 			Window:   window,
@@ -295,6 +353,11 @@ func main() {
 		}
 		fmt.Printf(", %d candidate(s) on %s\n", len(cands), candMode)
 		for _, c := range cands {
+			if c.Backend != nil && !c.Backend.IsZero() {
+				fmt.Printf("  %s: ratio %.4f (threshold %.4f), backend %s\n",
+					c.Name, c.Config.ReclaimRatio, c.Config.MemPressureThreshold, c.Backend.Signature())
+				continue
+			}
 			fmt.Printf("  %s: ratio %.4f (threshold %.4f)\n", c.Name, c.Config.ReclaimRatio, c.Config.MemPressureThreshold)
 		}
 		fmt.Println()

@@ -22,6 +22,7 @@ import (
 	"runtime/pprof"
 
 	"tmo/cmd/internal/cliutil"
+	"tmo/internal/backend"
 	"tmo/internal/cgroup"
 	"tmo/internal/core"
 	"tmo/internal/place"
@@ -36,6 +37,7 @@ func main() {
 	appName := flag.String("app", "feed", "workload profile (see -list)")
 	list := flag.Bool("list", false, "list catalog profiles and exit")
 	modeStr := flag.String("mode", "zswap", "offload mode: off, file-only, zswap, ssd, tiered, nvm, cxl")
+	tiersStr := flag.String("tiers", "", `tier chain for -mode tiered, fastest first, e.g. "lz4:2g,zstd:4g,ssd" (empty = default chain)`)
 	durStr := flag.String("duration", "30m", "virtual time to simulate")
 	capMiB := flag.Int64("capacity", 0, "host DRAM in MiB (0 = 2x app footprint)")
 	cxlMiB := flag.Int64("cxl-bytes", 0, "CXL far-node size in MiB for -mode cxl (0 = DRAM-sized)")
@@ -80,12 +82,20 @@ func main() {
 	if *interleave > 0 {
 		placement = &place.Config{InterleaveFrac: *interleave}
 	}
+	var tiers []backend.TierSpec
+	if *tiersStr != "" {
+		if mode != core.ModeTiered {
+			fatal(fmt.Errorf("-tiers requires -mode tiered (got %s)", mode))
+		}
+		tiers = cliutil.MustTierSpec("tmosim", *tiersStr)
+	}
 	sys := core.New(core.Options{
 		Mode:          mode,
 		CapacityBytes: capacity,
 		CXLBytes:      *cxlMiB * workload.MiB,
 		DeviceModel:   *device,
 		Placement:     placement,
+		Tiers:         tiers,
 		Seed:          *seed,
 	})
 	app := sys.AddProfile(prof, cgroup.Workload)

@@ -77,6 +77,10 @@ type StoreReq struct {
 	// CompressRatio is the content's intrinsic compression ratio
 	// (uncompressed/compressed, >= 1); ignored by uncompressed tiers.
 	CompressRatio float64
+	// Refault marks a page that demand-faulted back since its last offload.
+	// Multi-tier chains bias such pages toward faster tiers (promotion on
+	// refault); single-tier backends ignore it.
+	Refault bool
 }
 
 // BatchLoadResult describes a completed batched load: one submission

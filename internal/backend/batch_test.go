@@ -343,14 +343,15 @@ func TestWritebackDisabledWritesInline(t *testing.T) {
 // SSD served part of it.
 func TestTieredLoadBatchPartitionsTiers(t *testing.T) {
 	spec, _ := DeviceByModel("C")
-	mkTiered := func() *Tiered {
-		warm := NewZswap(CodecZstd, AllocZsmalloc, 256*pageSize, 3)
-		cold := NewSSDSwap(NewSSDDevice(spec, 4), 0)
-		return NewTiered(warm, cold, 1.5)
+	mkChain := func() *TierChain {
+		return NewTierChain(
+			DefaultChainSpecs(256*pageSize, 0),
+			NewSSDDevice(spec, 4), 3)
 	}
-	tr := mkTiered()
+	tr := mkChain()
 	var hs []Handle
-	// Compressible pages land in the pool; incompressible go direct to SSD.
+	// Compressible pages land in the pool; incompressible skip its
+	// admission threshold and go direct to SSD.
 	for i := 0; i < 4; i++ {
 		r, err := tr.Store(0, pageSize, 3)
 		if err != nil {
@@ -365,8 +366,11 @@ func TestTieredLoadBatchPartitionsTiers(t *testing.T) {
 		}
 		hs = append(hs, r.Handle)
 	}
-	if tr.DirectSSD() != 4 {
-		t.Fatalf("direct-SSD stores = %d, want 4", tr.DirectSSD())
+	if tr.AdmitSkips() != 4 {
+		t.Fatalf("admission skips = %d, want 4", tr.AdmitSkips())
+	}
+	if st := tr.TierStats(1); st.StoredPages != 4 {
+		t.Fatalf("SSD tier holds %d pages, want 4", st.StoredPages)
 	}
 	res := tr.LoadBatch(vclock.Time(vclock.Second), hs)
 	if !res.BlockIO {
@@ -377,7 +381,7 @@ func TestTieredLoadBatchPartitionsTiers(t *testing.T) {
 	}
 
 	// A pool-only batch has no block IO.
-	tr2 := mkTiered()
+	tr2 := mkChain()
 	var warmOnly []Handle
 	for i := 0; i < 4; i++ {
 		r, _ := tr2.Store(0, pageSize, 3)

@@ -27,9 +27,7 @@ func BenchmarkSSDRead(b *testing.B) {
 }
 
 func BenchmarkTieredStoreLoad(b *testing.B) {
-	z := NewZswap(CodecZstd, AllocZsmalloc, 64<<20, 93)
-	s := NewSSDSwap(NewSSDDevice(DeviceCatalog[2], 94), 0)
-	tr := NewTiered(z, s, 1.5)
+	tr := NewTierChain(DefaultChainSpecs(64<<20, 0), NewSSDDevice(DeviceCatalog[2], 94), 93)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ratio := 3.0

@@ -1,6 +1,8 @@
 package backend
 
 import (
+	"fmt"
+
 	"tmo/internal/telemetry"
 	"tmo/internal/trace"
 )
@@ -41,17 +43,36 @@ func (z *Zswap) EnableTelemetry(reg *telemetry.Registry) {
 	reg.GaugeFunc("backend.zswap.logical_bytes", func() float64 { return float64(z.stats.LogicalBytes) })
 }
 
-// EnableTelemetry registers the hierarchy's migration counters and wires
-// both tiers.
-func (t *Tiered) EnableTelemetry(reg *telemetry.Registry) {
-	t.warm.EnableTelemetry(reg)
-	t.cold.EnableTelemetry(reg)
-	t.telWritebacks = reg.Counter("backend.tiered.writebacks")
-	t.telDirectSSD = reg.Counter("backend.tiered.direct_ssd")
-	reg.GaugeFunc("backend.tiered.warm_pages", func() float64 { return float64(t.WarmPages()) })
-	reg.GaugeFunc("backend.tiered.cold_pages", func() float64 { return float64(t.ColdPages()) })
+// EnableTelemetry registers the chain's per-tier instruments, labelled by
+// tier position and substrate (e.g. tier="0-lz4") so stacked compressed
+// pools stay distinguishable — the unlabelled backend.zswap.* series would
+// merge two pools into one stream. The SSD tier additionally wires its
+// writeback-queue instruments.
+func (c *TierChain) EnableTelemetry(reg *telemetry.Registry) {
+	for i := range c.tiers {
+		t := &c.tiers[i]
+		lbl := telemetry.Label{Key: "tier", Value: fmt.Sprintf("%d-%s", i, t.spec.Label())}
+		t.telStores = reg.Counter("backend.tier.stores", lbl)
+		t.telDemotions = reg.Counter("backend.tier.demotions", lbl)
+		t.telRefaults = reg.Counter("backend.tier.refaults", lbl)
+		b := t.backend()
+		reg.GaugeFunc("backend.tier.pages", func() float64 { return float64(b.Stats().StoredPages) }, lbl)
+		reg.GaugeFunc("backend.tier.stored_bytes", func() float64 { return float64(b.Stats().StoredBytes) }, lbl)
+		reg.GaugeFunc("backend.tier.ratio", func() float64 {
+			s := b.Stats()
+			if s.StoredBytes == 0 {
+				return 0
+			}
+			return float64(s.LogicalBytes) / float64(s.StoredBytes)
+		}, lbl)
+		if t.ssd != nil {
+			t.ssd.EnableTelemetry(reg)
+		}
+	}
+	c.telPromotions = reg.Counter("backend.chain.promotions")
+	c.telAdmitSkips = reg.Counter("backend.chain.admit_skips")
+	c.telDemoteStall = reg.Counter("backend.chain.demote_backpressure")
 }
 
-// SetTrace attaches an event log the hierarchy reports pool-to-SSD
-// writebacks to.
-func (t *Tiered) SetTrace(l *trace.Log) { t.trace = l }
+// SetTrace attaches an event log the chain reports down-chain demotions to.
+func (c *TierChain) SetTrace(l *trace.Log) { c.trace = l }

@@ -42,9 +42,12 @@ const (
 	// ModeSSDSwap offloads anonymous memory to a swap partition on the
 	// host SSD.
 	ModeSSDSwap
-	// ModeTiered runs the §5.2 future-work hierarchy: a zswap pool for
-	// warm compressible pages with LRU writeback to SSD swap for cold and
-	// incompressible pages.
+	// ModeTiered runs a multi-tier software-defined compressed-memory
+	// chain (§5.2's future-work hierarchy generalized per arXiv
+	// 2404.13886): by default a zstd pool over SSD swap, or any layout
+	// given via Options.Tiers — e.g. an lz4 fast tier over a zstd dense
+	// tier over SSD — with watermark demotion down-chain and promotion on
+	// refault.
 	ModeTiered
 	// ModeNVM offloads to byte-addressable persistent memory (§2.5's
 	// "upcoming NVM devices").
@@ -133,6 +136,11 @@ type Options struct {
 	ZswapPoolFrac float64
 	// SwapBytes sizes the SSD swap partition; default 4x DRAM.
 	SwapBytes int64
+	// Tiers lays out the ModeTiered chain explicitly (fastest first; see
+	// backend.TierSpec). Empty selects the classic two-tier default: a
+	// zstd pool of ZswapPoolFrac x DRAM over SSD swap of SwapBytes.
+	// Ignored by other modes.
+	Tiers []backend.TierSpec
 	// CXLBytes sizes the byte-addressable far-memory node in ModeCXL;
 	// default equal to DRAM (a common expander sizing). Ignored by other
 	// modes.
@@ -163,8 +171,10 @@ type System struct {
 	Device  *backend.SSDDevice
 	Zswap   *backend.Zswap
 	SSDSwap *backend.SSDSwap
-	Tiered  *backend.Tiered
-	NVM     *backend.NVM
+	// Chain is the ModeTiered multi-tier chain (it owns its inner pools
+	// and SSD tier; Zswap/SSDSwap stay nil in that mode).
+	Chain *backend.TierChain
+	NVM   *backend.NVM
 	// CXL is the byte-addressable far-memory node (ModeCXL), with Place
 	// the TPP-style loop migrating pages between it and local DRAM.
 	CXL   *backend.CXLNode
@@ -223,19 +233,19 @@ func New(opts Options) *System {
 		sys.SSDSwap = backend.NewSSDSwap(sys.Device, opts.SwapBytes)
 		swap = sys.SSDSwap
 	case ModeTiered:
-		codec := backend.CodecZstd
-		if opts.ZswapCodec != nil {
-			codec = *opts.ZswapCodec
+		specs := opts.Tiers
+		if len(specs) == 0 {
+			pool := int64(float64(opts.CapacityBytes) * opts.ZswapPoolFrac)
+			specs = backend.DefaultChainSpecs(pool, opts.SwapBytes)
+			if opts.ZswapCodec != nil {
+				specs[0].Codec = *opts.ZswapCodec
+			}
+			if opts.ZswapAlloc != nil {
+				specs[0].Alloc = *opts.ZswapAlloc
+			}
 		}
-		alloc := backend.AllocZsmalloc
-		if opts.ZswapAlloc != nil {
-			alloc = *opts.ZswapAlloc
-		}
-		pool := int64(float64(opts.CapacityBytes) * opts.ZswapPoolFrac)
-		sys.Zswap = backend.NewZswap(codec, alloc, pool, opts.Seed^0xbeef)
-		sys.SSDSwap = backend.NewSSDSwap(sys.Device, opts.SwapBytes)
-		sys.Tiered = backend.NewTiered(sys.Zswap, sys.SSDSwap, 1.5)
-		swap = sys.Tiered
+		sys.Chain = backend.NewTierChain(specs, sys.Device, opts.Seed^0xbeef)
+		swap = sys.Chain
 	case ModeNVM:
 		spec := backend.SpecNVMOptane
 		spec.CapacityBytes = opts.SwapBytes
@@ -256,6 +266,9 @@ func New(opts Options) *System {
 
 	if sys.SSDSwap != nil {
 		sys.SSDSwap.ConfigureWriteback(opts.Writeback)
+	}
+	if sys.Chain != nil {
+		sys.Chain.ConfigureWriteback(opts.Writeback)
 	}
 
 	sys.Server = sim.NewServer(sim.Config{
@@ -311,16 +324,17 @@ func (s *System) wireTelemetry() {
 	mgr.SetTrace(s.Trace)
 	s.Server.EnableTelemetry(reg)
 	s.Device.EnableTelemetry(reg)
-	if s.Zswap != nil && s.Tiered == nil {
+	if s.Zswap != nil {
 		s.Zswap.EnableTelemetry(reg)
 	}
-	if s.SSDSwap != nil && s.Tiered == nil {
+	if s.SSDSwap != nil {
 		s.SSDSwap.EnableTelemetry(reg)
 	}
-	if s.Tiered != nil {
-		// The hierarchy wires both inner tiers itself.
-		s.Tiered.EnableTelemetry(reg)
-		s.Tiered.SetTrace(s.Trace)
+	if s.Chain != nil {
+		// The chain wires per-tier instruments (labelled so stacked pools
+		// stay distinguishable) and its SSD tier's writeback queue itself.
+		s.Chain.EnableTelemetry(reg)
+		s.Chain.SetTrace(s.Trace)
 	}
 	if s.CXL != nil {
 		s.CXL.EnableTelemetry(reg)
@@ -370,8 +384,8 @@ func (s *System) Chaos() *chaos.Engine {
 	if s.chaosEng == nil {
 		var swapCap int64
 		switch {
-		case s.Tiered != nil:
-			swapCap = s.Zswap.MaxPoolBytes() + s.SSDSwap.Capacity()
+		case s.Chain != nil:
+			swapCap = s.Chain.CapacityBytes()
 		case s.SSDSwap != nil:
 			swapCap = s.SSDSwap.Capacity()
 		case s.Zswap != nil:

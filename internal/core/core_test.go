@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"tmo/internal/backend"
 	"tmo/internal/psi"
 	"tmo/internal/senpai"
 	"tmo/internal/vclock"
@@ -249,7 +250,9 @@ func TestCXLMode(t *testing.T) {
 	}
 }
 
-// TestTieredMode: the §5.2 hierarchy assembles through core.
+// TestTieredMode: the multi-tier chain assembles through core with the
+// classic two-tier default, routes incompressible pages past the pool's
+// admission threshold, and offloads into both tiers.
 func TestTieredMode(t *testing.T) {
 	sys := New(Options{
 		Mode:          ModeTiered,
@@ -261,14 +264,48 @@ func TestTieredMode(t *testing.T) {
 	sys.AddWorkload("feed")
 	sys.AddWorkload("ml")
 	sys.Run(12 * vclock.Minute)
-	if sys.Tiered == nil {
-		t.Fatalf("tiered backend missing")
+	if sys.Chain == nil {
+		t.Fatalf("tier chain missing")
 	}
-	if sys.Tiered.DirectSSD() == 0 {
-		t.Fatalf("incompressible pages not routed to SSD")
+	if got := sys.Chain.NumTiers(); got != 2 {
+		t.Fatalf("default chain has %d tiers, want 2", got)
 	}
-	if sys.Tiered.WarmPages()+sys.Tiered.ColdPages() == 0 {
+	if sys.Chain.AdmitSkips() == 0 {
+		t.Fatalf("incompressible pages not routed past the pool tier")
+	}
+	if sys.Chain.Stats().StoredPages == 0 {
 		t.Fatalf("nothing offloaded")
+	}
+}
+
+// TestTieredModeExplicitTiers: Options.Tiers builds an arbitrary chain — a
+// 3-tier lz4/zstd/SSD layout — and pages land across it.
+func TestTieredModeExplicitTiers(t *testing.T) {
+	sys := New(Options{
+		Mode:          ModeTiered,
+		CapacityBytes: 512 * MiB,
+		Tiers: []backend.TierSpec{
+			{Kind: backend.TierZswap, Codec: backend.CodecLz4, CapacityBytes: 2 * MiB},
+			{Kind: backend.TierZswap, Codec: backend.CodecZstd, CapacityBytes: 8 * MiB, MinCompressRatio: 1.5},
+			{Kind: backend.TierSSD, CapacityBytes: 2048 * MiB},
+		},
+		Senpai: fastSenpai(),
+		Seed:   22,
+	})
+	sys.AddWorkload("feed")
+	sys.AddWorkload("ml")
+	sys.Run(12 * vclock.Minute)
+	if sys.Chain == nil || sys.Chain.NumTiers() != 3 {
+		t.Fatalf("explicit 3-tier chain missing")
+	}
+	if sys.Chain.Stats().StoredPages == 0 {
+		t.Fatalf("nothing offloaded")
+	}
+	if st := sys.Chain.TierStats(0); st.TotalWrites == 0 {
+		t.Fatalf("fast tier took no stores")
+	}
+	if sys.Chain.CapacityBytes() == 0 {
+		t.Fatalf("bounded chain reports unbounded capacity")
 	}
 }
 

@@ -337,8 +337,9 @@ type TierOutcome struct {
 	MeanMemPressure float64
 	// RPS over the window (sum of both apps).
 	RPS float64
-	// Writebacks and DirectSSD report tiered-internal routing (zero for
-	// the single-tier runs).
+	// Writebacks and DirectSSD report chain-internal routing — down-chain
+	// demotions and admission-threshold skips (zero for the single-tier
+	// runs).
 	Writebacks, DirectSSD int64
 }
 
@@ -396,9 +397,9 @@ func AblationTiered(cfg Config) AblationTieredResult {
 			MeanMemPressure: psi.WindowedPressure(m0, m1, measure),
 			RPS:             float64(a.Completed()+b.Completed()-c0) / measure.Seconds(),
 		}
-		if sys.Tiered != nil {
-			out.Writebacks = sys.Tiered.Writebacks()
-			out.DirectSSD = sys.Tiered.DirectSSD()
+		if sys.Chain != nil {
+			out.Writebacks = sys.Chain.Demotions()
+			out.DirectSSD = sys.Chain.AdmitSkips()
 		}
 		return out
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"tmo/internal/backend"
 	"tmo/internal/cgroup"
 	"tmo/internal/core"
 	"tmo/internal/psi"
@@ -110,7 +111,13 @@ func medianLoadUs(sys *core.System) float64 {
 		return float64(sys.CXL.Spec().AccessLatency)
 	case sys.NVM != nil:
 		return float64(sys.NVM.Spec().ReadMedian)
-	case sys.Zswap != nil && sys.Tiered == nil:
+	case sys.Chain != nil:
+		specs := sys.Chain.TierSpecs()
+		if specs[0].Kind == backend.TierZswap {
+			return float64(specs[0].Codec.DecompressMedian)
+		}
+		return float64(sys.Chain.SSD().Device().Spec.ReadMedian)
+	case sys.Zswap != nil:
 		return float64(sys.Zswap.Codec().DecompressMedian)
 	case sys.SSDSwap != nil:
 		return float64(sys.SSDSwap.Device().Spec.ReadMedian)

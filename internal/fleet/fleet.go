@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"tmo/internal/backend"
 	"tmo/internal/cgroup"
 	"tmo/internal/core"
 	"tmo/internal/mm"
@@ -52,6 +53,10 @@ type Spec struct {
 	// core default. Rollout policies may carry this knob with a mode
 	// change.
 	SwapBytes int64
+	// Tiers lays out an explicit ModeTiered chain (fastest first, see
+	// backend.TierSpec); empty keeps the core default two-tier layout.
+	// Rollout policies carry this via their PolicyBackend.
+	Tiers []backend.TierSpec
 	// CXLBytes optionally sizes the byte-addressable far-memory node in
 	// ModeCXL; zero keeps the core default (host DRAM size). A positive
 	// value also marks the host's device cohort as CXL-bearing.
@@ -167,6 +172,7 @@ func buildSystem(s Spec, mode core.Mode) (*core.System, *workload.App, *workload
 		Senpai:        s.Senpai,
 		ZswapPoolFrac: s.ZswapPoolFrac,
 		SwapBytes:     s.SwapBytes,
+		Tiers:         s.Tiers,
 		CXLBytes:      s.CXLBytes,
 		Placement:     s.Placement,
 		Seed:          s.Seed,

@@ -85,8 +85,8 @@ func NewSimHost(s Spec) *SimHost {
 // core.System.Chaos's sizing).
 func SwapCapacityBytes(sys *core.System) int64 {
 	switch {
-	case sys.Tiered != nil:
-		return sys.Zswap.MaxPoolBytes() + sys.SSDSwap.Capacity()
+	case sys.Chain != nil:
+		return sys.Chain.CapacityBytes()
 	case sys.SSDSwap != nil:
 		return sys.SSDSwap.Capacity()
 	case sys.Zswap != nil:

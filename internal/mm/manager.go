@@ -486,6 +486,7 @@ func (m *Manager) touch(now vclock.Time, p *Page) TouchResult {
 			remainder := p.pendingUntil.Sub(now)
 			ioStall := p.pendingIO
 			p.pendingUntil, p.pendingIO = 0, false
+			p.refaulted = true
 			m.markAccessed(p)
 			p.lastTouch, p.touched = now, true
 			g.noteCost(now, Anon)
@@ -550,6 +551,10 @@ func (m *Manager) touch(now vclock.Time, p *Page) TouchResult {
 		g.stat.SwapIns++
 		g.swappedPages--
 		g.noteCost(now, Anon)
+		// A demand swap-in is a refault: the page's reuse distance proved
+		// shorter than its offload. The flag rides to the next offload so
+		// the backend can bias this page toward a faster tier.
+		p.refaulted = true
 		res := TouchResult{
 			Fault:    true,
 			SwapIn:   true,
@@ -708,6 +713,7 @@ func (m *Manager) FreePages(pages []*Page) {
 		p.active, p.referenced, p.hasShadow = false, false, false
 		p.dirty = false
 		p.touched = false
+		p.refaulted = false
 		p.pendingUntil, p.pendingIO = 0, false
 	}
 }

@@ -107,6 +107,13 @@ type Page struct {
 	cluster                  *swapCluster
 	clusterNext, clusterPrev *Page
 
+	// refaulted marks an anon page that demand-faulted back from the swap
+	// backend since its last offload. The next offload carries it as
+	// StoreReq.Refault so a multi-tier chain can promote the page toward a
+	// faster tier; it clears when the offload lands. Readahead neighbours
+	// that were never touched do not set it.
+	refaulted bool
+
 	// pendingUntil, when in the future, is the completion time of the
 	// batched load that is bringing this page in: readahead inserts cluster
 	// neighbours as Resident the moment the batch is submitted, and a touch

@@ -173,16 +173,27 @@ func (m *Manager) shrinkOracle(now vclock.Time, g *Group, want int64) ReclaimRes
 			if !m.swapScanAllowed() {
 				continue
 			}
-			store, err := m.cfg.Swap.Store(now, m.cfg.PageSize, p.Compressibility)
+			// A one-page batch rather than Store so the refault bit rides
+			// along (identical cost: every backend's single-page batch
+			// degenerates to its Store path).
+			oneReq := [1]backend.StoreReq{{
+				PageBytes:     m.cfg.PageSize,
+				CompressRatio: p.Compressibility,
+				Refault:       p.refaulted,
+			}}
+			var oneRes [1]backend.StoreResult
+			_, err := m.cfg.Swap.StoreBatch(now, oneReq[:], oneRes[:])
 			if err != nil {
 				m.swapExhausted = true
 				res.SwapFull = true
 				m.noteSwapReject(now, g)
 				continue
 			}
+			store := oneRes[0]
 			lst.remove(p)
 			p.active = false
 			p.state = Offloaded
+			p.refaulted = false
 			p.handle = uint64(store.Handle)
 			g.residentPages[Anon]--
 			g.charge(-m.cfg.PageSize)
@@ -323,6 +334,7 @@ func (m *Manager) shrinkGroup(now vclock.Time, g *Group, want int64) ReclaimResu
 			m.storeReqs[m.nStoreVictims] = backend.StoreReq{
 				PageBytes:     m.cfg.PageSize,
 				CompressRatio: p.Compressibility,
+				Refault:       p.refaulted,
 			}
 			m.nStoreVictims++
 			if m.nStoreVictims == swapClusterSize {
@@ -375,6 +387,7 @@ func (m *Manager) flushSwapOuts(now vclock.Time, g *Group, res *ReclaimResult) i
 		p := m.storeVictims[i]
 		r := m.storeRes[i]
 		p.state = Offloaded
+		p.refaulted = false
 		p.handle = uint64(r.Handle)
 		p.group.residentPages[Anon]--
 		p.group.charge(-m.cfg.PageSize)

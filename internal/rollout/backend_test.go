@@ -1,0 +1,141 @@
+package rollout
+
+import (
+	"strings"
+	"testing"
+
+	"tmo/internal/backend"
+	"tmo/internal/core"
+	"tmo/internal/trace"
+	"tmo/internal/vclock"
+)
+
+// TestPolicyBackendShim pins the deprecation migration: legacy flat knobs
+// fold into Backend at normalize time, an explicit Backend wins over them,
+// and a policy using neither stays Backend-less.
+func TestPolicyBackendShim(t *testing.T) {
+	legacy := Policy{Name: "p", Mode: core.ModeZswap, Config: safeCandidate(),
+		ZswapPoolFrac: 0.25, SwapBytes: 4 << 30}
+	n := legacy.normalized()
+	if n.Backend == nil {
+		t.Fatal("legacy knobs did not migrate into Backend")
+	}
+	if n.Backend.ZswapPoolFrac != 0.25 || n.Backend.SwapBytes != 4<<30 {
+		t.Fatalf("migrated Backend = %+v, want pool=0.25 swap=4g", *n.Backend)
+	}
+	if n.ZswapPoolFrac != 0 || n.SwapBytes != 0 {
+		t.Fatalf("legacy fields not cleared: pool=%v swap=%v", n.ZswapPoolFrac, n.SwapBytes)
+	}
+
+	mixed := legacy
+	mixed.Backend = &PolicyBackend{ZswapPoolFrac: 0.5}
+	n = mixed.normalized()
+	if n.Backend.ZswapPoolFrac != 0.5 {
+		t.Fatalf("explicit Backend.ZswapPoolFrac overridden by legacy knob: %v", n.Backend.ZswapPoolFrac)
+	}
+	if n.Backend.SwapBytes != 4<<30 {
+		t.Fatalf("unset Backend.SwapBytes should inherit the legacy knob: %v", n.Backend.SwapBytes)
+	}
+
+	plain := Policy{Name: "p", Mode: core.ModeZswap, Config: safeCandidate()}
+	if n := plain.normalized(); n.Backend != nil {
+		t.Fatalf("knob-less policy grew a Backend: %+v", *n.Backend)
+	}
+}
+
+// TestLegacyBackendKnobsBuildIdenticalHosts is the shim's regression pin: a
+// rollout whose candidate sizes the backend through the deprecated flat
+// knobs must produce the byte-identical event log of one using the
+// PolicyBackend struct, because both build the same hosts.
+func TestLegacyBackendKnobsBuildIdenticalHosts(t *testing.T) {
+	build := func(pol Policy) Config {
+		cfg := testConfig(pol)
+		cfg.Hosts = testFleet(3)
+		cfg.Plan = []Stage{{Name: "fleet", Frac: 1.0, Bake: 3}}
+		return cfg
+	}
+	old := safePolicy()
+	old.ZswapPoolFrac = 0.18
+	old.SwapBytes = 2 << 30
+	niu := safePolicy()
+	niu.Backend = &PolicyBackend{ZswapPoolFrac: 0.18, SwapBytes: 2 << 30}
+
+	a := New(build(old)).Run()
+	b := New(build(niu)).Run()
+	if a.EventLog() != b.EventLog() {
+		t.Fatalf("legacy-knob rollout diverged from PolicyBackend rollout:\n--- legacy ---\n%s\n--- struct ---\n%s",
+			a.EventLog(), b.EventLog())
+	}
+	if !a.Completed() {
+		t.Fatalf("state = %s, want completed; log:\n%s", a.State, a.EventLog())
+	}
+}
+
+// tierPolicy builds a ModeTiered candidate whose backend is an explicit
+// tier chain.
+func tierPolicy(name string, tiers []backend.TierSpec) Policy {
+	return Policy{
+		Name:    name,
+		Mode:    core.ModeTiered,
+		Config:  safeCandidate(),
+		Backend: &PolicyBackend{Tiers: tiers},
+	}
+}
+
+// TestTierConfigRace races three tier-chain configurations as bandit
+// candidates — the issue's headline rollout scenario — and requires a
+// winner promoted by lifetime weighted savings with the whole fleet
+// converged on its chain.
+func TestTierConfigRace(t *testing.T) {
+	const mib = 1 << 20
+	cands := []Policy{
+		tierPolicy("chain-zstd", []backend.TierSpec{
+			{Kind: backend.TierZswap, Codec: backend.CodecZstd, CapacityBytes: 48 * mib},
+			{Kind: backend.TierSSD},
+		}),
+		tierPolicy("chain-lz4-zstd", []backend.TierSpec{
+			{Kind: backend.TierZswap, Codec: backend.CodecLz4, CapacityBytes: 16 * mib},
+			{Kind: backend.TierZswap, Codec: backend.CodecZstd, CapacityBytes: 32 * mib, MinCompressRatio: 1.5},
+			{Kind: backend.TierSSD},
+		}),
+		tierPolicy("chain-lz4", []backend.TierSpec{
+			{Kind: backend.TierZswap, Codec: backend.CodecLz4, CapacityBytes: 48 * mib},
+			{Kind: backend.TierSSD},
+		}),
+	}
+	cfg := Config{
+		Hosts:         testFleet(6),
+		Baseline:      baselinePolicy(),
+		Candidates:    cands,
+		Plan:          []Stage{{Name: "race", Frac: 0.5, Bake: 3}, {Name: "fleet", Frac: 1.0, Bake: 3}},
+		Guardrails:    testGuardrails(),
+		Window:        30 * vclock.Second,
+		WarmWindows:   2,
+		SettleWindows: 1,
+		Seed:          42,
+	}
+	r := New(cfg).Run()
+	if !r.Completed() {
+		t.Fatalf("state = %s, want completed; log:\n%s", r.State, r.EventLog())
+	}
+	if r.Promoted == "" {
+		t.Fatalf("no tier configuration promoted; log:\n%s", r.EventLog())
+	}
+	raced := 0
+	for _, c := range r.Candidates {
+		if c.Windows > 0 {
+			raced++
+		}
+	}
+	if raced < 3 {
+		t.Fatalf("only %d tier configurations accumulated windows, want 3; outcomes: %+v", raced, r.Candidates)
+	}
+	if !strings.Contains(r.EventLog(), string(trace.KindRolloutPromote)) {
+		t.Fatalf("event log lacks %s:\n%s", trace.KindRolloutPromote, r.EventLog())
+	}
+	for _, h := range r.Hosts {
+		if h.Policy != r.Promoted {
+			t.Fatalf("host %d ended on %q, want promoted %q", h.Index, h.Policy, r.Promoted)
+		}
+	}
+}

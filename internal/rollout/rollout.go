@@ -158,6 +158,7 @@ func (cfg Config) normalize() Config {
 	if cfg.Baseline.Name == "" {
 		cfg.Baseline.Name = "baseline"
 	}
+	cfg.Baseline = cfg.Baseline.normalized()
 	cfg.Baseline.validate("baseline")
 	if len(cfg.Candidates) == 0 {
 		panic("rollout: at least one Candidate policy required")
@@ -174,6 +175,7 @@ func (cfg Config) normalize() Config {
 		if cfg.Candidates[i].Name == "" {
 			cfg.Candidates[i].Name = fmt.Sprintf("cand-%d", i+1)
 		}
+		cfg.Candidates[i] = cfg.Candidates[i].normalized()
 		cfg.Candidates[i].validate("candidate")
 		if names[cfg.Candidates[i].Name] {
 			panic(fmt.Sprintf("rollout: duplicate policy name %q", cfg.Candidates[i].Name))
@@ -244,25 +246,25 @@ func (cfg Config) normalize() Config {
 			t.FullTail = 4
 		}
 		cfg.Twin = &t
-		// Fail at construction, not mid-rollout: every (device class, mode)
-		// a twin host could be pushed must have a fitted surface.
-		modes := []core.Mode{cfg.Baseline.Mode}
-		for _, p := range cfg.Candidates {
-			modes = append(modes, p.Mode)
-		}
+		// Fail at construction, not mid-rollout: every (device class, mode,
+		// backend signature) a twin host could be pushed must resolve to a
+		// fitted surface. Backend-specific surfaces are preferred; a
+		// signature with no dedicated surface falls back to the plain
+		// (device, mode) fit, so only a missing base surface is fatal.
+		pols := append([]Policy{cfg.Baseline}, cfg.Candidates...)
 		seen := map[string]bool{}
 		for i, f := range fidelityLayout(cfg) {
 			if f != fleet.FidelityTwin {
 				continue
 			}
 			d := cfg.Hosts[i].DeviceClass()
-			for _, m := range modes {
-				k := twin.Key(d, m)
+			for _, p := range pols {
+				k := twin.KeyBackend(d, p.Mode, p.backendSignature())
 				if seen[k] {
 					continue
 				}
 				seen[k] = true
-				if _, ok := t.Coeffs.Lookup(d, m); !ok {
+				if _, ok := t.Coeffs.LookupBackend(d, p.Mode, p.backendSignature()); !ok {
 					panic(fmt.Sprintf("rollout: twin calibration has no surface for %s — recalibrate covering this class and mode", k))
 				}
 			}
@@ -669,11 +671,8 @@ func (c *Controller) buildHost(h *host) {
 	spec.Mode = pol.Mode
 	cfg := pol.Config
 	spec.Senpai = &cfg
-	if pol.ZswapPoolFrac > 0 {
-		spec.ZswapPoolFrac = pol.ZswapPoolFrac
-	}
-	if pol.SwapBytes > 0 {
-		spec.SwapBytes = pol.SwapBytes
+	if pol.Backend != nil {
+		pol.Backend.ApplyTo(&spec)
 	}
 	if pol.Placement != nil {
 		spec.Placement = pol.Placement
@@ -681,7 +680,7 @@ func (c *Controller) buildHost(h *host) {
 	spec.Seed = h.spec.Seed + uint64(h.incarnation)*0x9e3779b9
 	if h.fidelity == fleet.FidelityTwin {
 		// Surface presence was validated at construction.
-		sur, _ := c.cfg.Twin.Coeffs.Lookup(h.device, pol.Mode)
+		sur, _ := c.cfg.Twin.Coeffs.LookupBackend(h.device, pol.Mode, pol.backendSignature())
 		h.sim = twin.NewHost(spec, sur, spec.Seed)
 	} else {
 		h.sim = fleet.NewSimHost(spec)

@@ -23,6 +23,12 @@ type CalibrateConfig struct {
 	Specs []fleet.Spec
 	// Modes are the offload modes to fit surfaces for.
 	Modes []core.Mode
+	// Backends optionally extends the cross product with backend sizings
+	// (tier chains, pool fractions, swap sizes): each non-zero entry fits an
+	// extra surface per (class, mode) keyed by its Signature, which
+	// LookupBackend prefers over the plain (class, mode) fit. The sizing-less
+	// base surface is always fitted; zero-value entries are skipped.
+	Backends []fleet.BackendConfig
 	// Baseline is the config hosts warm under (typically the rollout
 	// baseline: reclaim idle). It also anchors every surface's a≈0 rung.
 	Baseline senpai.Config
@@ -99,10 +105,11 @@ func DefaultProbes(base senpai.Config) []senpai.Config {
 	return out
 }
 
-// calPoint is one (spec, mode, probe) measurement assignment.
+// calPoint is one (spec, mode, backend, probe) measurement assignment.
 type calPoint struct {
 	spec  fleet.Spec
 	mode  core.Mode
+	sig   string
 	probe senpai.Config
 }
 
@@ -115,14 +122,26 @@ func Calibrate(cfg CalibrateConfig) *CoefficientSet {
 	cfg = cfg.normalize()
 	probes := append([]senpai.Config{cfg.Baseline}, cfg.Probes...)
 
+	// The sizing-less base surface always calibrates; each non-zero backend
+	// sizing adds a signature-keyed surface per (class, mode).
+	backends := []fleet.BackendConfig{{}}
+	for _, b := range cfg.Backends {
+		if !b.IsZero() {
+			backends = append(backends, b)
+		}
+	}
+
 	var points []calPoint
 	for _, spec := range cfg.Specs {
 		for _, mode := range cfg.Modes {
-			for _, p := range probes {
-				for r := 0; r < cfg.Replicas; r++ {
-					s := spec
-					s.Mode = mode
-					points = append(points, calPoint{spec: s, mode: mode, probe: p})
+			for _, b := range backends {
+				for _, p := range probes {
+					for r := 0; r < cfg.Replicas; r++ {
+						s := spec
+						s.Mode = mode
+						b.ApplyTo(&s)
+						points = append(points, calPoint{spec: s, mode: mode, sig: b.Signature(), probe: p})
+					}
 				}
 			}
 		}
@@ -157,7 +176,7 @@ func Calibrate(cfg CalibrateConfig) *CoefficientSet {
 
 	rungs := map[string][]ProbePoint{}
 	for i, pt := range points {
-		k := Key(samples[i].Device, pt.mode)
+		k := KeyBackend(samples[i].Device, pt.mode, pt.sig)
 		rungs[k] = append(rungs[k], ProbePoint{
 			A:          Aggressiveness(pt.probe),
 			Pressure:   samples[i].Pressure,

@@ -140,6 +140,17 @@ func (s Surface) Eval(a float64) ProbePoint {
 // Key identifies the (device class, mode) a surface was fitted for.
 func Key(device string, mode core.Mode) string { return device + "|" + mode.String() }
 
+// KeyBackend identifies a surface fitted for a specific backend sizing — a
+// tier chain, a pool fraction, a swap partition size (see
+// fleet.BackendConfig.Signature). An empty signature is the plain
+// (device, mode) key, so sizing-less calibrations keep their old keys.
+func KeyBackend(device string, mode core.Mode, sig string) string {
+	if sig == "" {
+		return Key(device, mode)
+	}
+	return Key(device, mode) + "|" + sig
+}
+
 // CoefficientSet is the calibration artifact: one fitted surface per
 // (device class, offload mode), plus the calibration geometry, exportable
 // as deterministic JSON (cmd/rolloutsim -calib-out; CI uploads it alongside
@@ -157,6 +168,21 @@ type CoefficientSet struct {
 func (cs *CoefficientSet) Lookup(device string, mode core.Mode) (Surface, bool) {
 	s, ok := cs.Surfaces[Key(device, mode)]
 	return s, ok
+}
+
+// LookupBackend returns the surface fitted for (device, mode) under a
+// specific backend sizing, falling back to the plain (device, mode) surface
+// when no sizing-specific fit exists. The fallback keeps pre-chain
+// calibration artifacts usable: a policy racing a new tier configuration
+// rides the class's generic surface until a calibration covering its
+// signature lands.
+func (cs *CoefficientSet) LookupBackend(device string, mode core.Mode, sig string) (Surface, bool) {
+	if sig != "" {
+		if s, ok := cs.Surfaces[KeyBackend(device, mode, sig)]; ok {
+			return s, true
+		}
+	}
+	return cs.Lookup(device, mode)
 }
 
 // Response time constants: EWMA state relaxes toward the surface targets
